@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the runtime primitives and the
+// substrates: stream handoff, event queues, scheduler job dispatch, XML
+// parsing, XSPCL loading, JPEG codec, and the image kernels. These put
+// real numbers behind the paper's claim that "the overhead of XSPCL is
+// negligible because the generated glue code is only run at
+// initialization time" (§1) — load/build cost is one-time, per-job
+// runtime costs are small, and kernels dominate.
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "components/components.hpp"
+#include "hinch/runtime.hpp"
+#include "media/jpeg.hpp"
+#include "media/kernels.hpp"
+#include "media/synth.hpp"
+#include "xml/parser.hpp"
+#include "xspcl/loader.hpp"
+
+namespace {
+
+void BM_StreamWriteRead(benchmark::State& state) {
+  hinch::Stream s("bench", 5);
+  media::FramePtr frame =
+      media::make_frame(media::PixelFormat::kGray, 64, 64);
+  int64_t iter = 0;
+  for (auto _ : state) {
+    s.write(iter, hinch::Packet::of_frame(frame));
+    benchmark::DoNotOptimize(s.read(iter));
+    ++iter;
+  }
+}
+BENCHMARK(BM_StreamWriteRead);
+
+void BM_EventQueuePushPoll(benchmark::State& state) {
+  hinch::EventQueue q("bench");
+  for (auto _ : state) {
+    q.push({"e", "payload"});
+    benchmark::DoNotOptimize(q.poll());
+  }
+}
+BENCHMARK(BM_EventQueuePushPoll);
+
+// Per-job scheduling overhead of the whole runtime (thread backend, one
+// worker, trivial components): wall time divided by jobs.
+void BM_SchedulerJobOverhead(benchmark::State& state) {
+  components::register_standard_globally();
+  const char* spec = R"(
+<xspcl><procedure name="main"><body>
+  <component name="t" class="event_ticker">
+    <param name="event" value="e"/><param name="queue" value="q"/>
+    <param name="period" value="1000000"/>
+  </component>
+</body></procedure></xspcl>)";
+  auto prog =
+      xspcl::build_program(spec, hinch::ComponentRegistry::global());
+  SUP_CHECK(prog.is_ok());
+  for (auto _ : state) {
+    hinch::RunConfig run;
+    run.iterations = 1000;
+    hinch::ThreadResult r = hinch::run_on_threads(*prog.value(), run, 1);
+    benchmark::DoNotOptimize(r.jobs);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerJobOverhead)->Unit(benchmark::kMillisecond);
+
+void BM_XmlParse(benchmark::State& state) {
+  apps::PipConfig c;
+  c.pips = 2;
+  std::string spec = apps::pip_xspcl(c);
+  for (auto _ : state) {
+    auto r = xml::parse(spec);
+    benchmark::DoNotOptimize(r.is_ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(spec.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+// The paper's "glue code runs only at initialization" claim: how long
+// does the full XSPCL -> running Program path take?
+void BM_XspclLoadAndBuild(benchmark::State& state) {
+  components::register_standard_globally();
+  apps::BlurConfig c;
+  c.width = 96;
+  c.height = 72;
+  c.clip_frames = 2;
+  std::string spec = apps::blur_xspcl(c);
+  for (auto _ : state) {
+    auto prog =
+        xspcl::build_program(spec, hinch::ComponentRegistry::global());
+    benchmark::DoNotOptimize(prog.is_ok());
+  }
+}
+BENCHMARK(BM_XspclLoadAndBuild)->Unit(benchmark::kMicrosecond);
+
+void BM_JpegEncode(benchmark::State& state) {
+  media::SynthSpec spec{.seed = 1, .width = 320, .height = 240};
+  media::FramePtr frame = media::make_synth_frame(spec, 0);
+  for (auto _ : state) {
+    auto bytes = media::jpeg::encode(*frame, 75);
+    benchmark::DoNotOptimize(bytes.is_ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(frame->bytes()));
+}
+BENCHMARK(BM_JpegEncode)->Unit(benchmark::kMillisecond);
+
+void BM_JpegDecode(benchmark::State& state) {
+  media::SynthSpec spec{.seed = 1, .width = 320, .height = 240};
+  media::FramePtr frame = media::make_synth_frame(spec, 0);
+  auto bytes = media::jpeg::encode(*frame, 75);
+  SUP_CHECK(bytes.is_ok());
+  for (auto _ : state) {
+    auto out = media::jpeg::decode(bytes.value().data(),
+                                   bytes.value().size());
+    benchmark::DoNotOptimize(out.is_ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(frame->bytes()));
+}
+BENCHMARK(BM_JpegDecode)->Unit(benchmark::kMillisecond);
+
+void BM_Downscale(benchmark::State& state) {
+  int factor = static_cast<int>(state.range(0));
+  media::SynthSpec spec{.seed = 2, .width = 720, .height = 576,
+                        .format = media::PixelFormat::kGray};
+  media::FramePtr src = media::make_synth_frame(spec, 0);
+  media::FramePtr dst = media::make_frame(media::PixelFormat::kGray,
+                                          720 / factor, 576 / factor);
+  for (auto _ : state) {
+    media::downscale_box(src->plane(0), dst->plane(0), factor, 0,
+                         576 / factor);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 720 *
+                          576);
+}
+BENCHMARK(BM_Downscale)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_Blur(benchmark::State& state) {
+  int kernel = static_cast<int>(state.range(0));
+  media::SynthSpec spec{.seed = 3, .width = 360, .height = 288,
+                        .format = media::PixelFormat::kGray};
+  media::FramePtr src = media::make_synth_frame(spec, 0);
+  media::FramePtr dst =
+      media::make_frame(media::PixelFormat::kGray, 360, 288);
+  for (auto _ : state) {
+    media::blur_h(src->plane(0), dst->plane(0), kernel, 0, 288);
+    media::blur_v(dst->plane(0), dst->plane(0), kernel, 0, 288);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 360 *
+                          288 * 2);
+}
+BENCHMARK(BM_Blur)->Arg(3)->Arg(5);
+
+}  // namespace

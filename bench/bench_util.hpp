@@ -1,0 +1,93 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every bench builds the paper's applications at (or near) paper scale,
+// runs them on the SpaceCAKE-substitute simulator, and prints the same
+// rows/series the corresponding figure reports. Absolute cycle counts
+// differ from the TriMedia testbed; the shapes are the reproduction
+// target (see DESIGN.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "components/components.hpp"
+#include "hinch/runtime.hpp"
+#include "xspcl/loader.hpp"
+
+namespace bench {
+
+// Paper-scale configurations (§4). The inputs are synthetic clips that
+// loop; clip_frames bounds one-time generation cost without changing the
+// per-frame work.
+inline apps::PipConfig paper_pip(int pips, bool reconfigurable = false) {
+  apps::PipConfig c;
+  c.width = 720;
+  c.height = 576;
+  c.frames = 96;
+  c.pips = pips;
+  c.factor = 4;
+  c.slices = 8;
+  c.clip_frames = 8;
+  c.reconfigurable = reconfigurable;
+  c.toggle_period = 12;
+  return c;
+}
+
+inline apps::JpipConfig paper_jpip(int pips, bool reconfigurable = false) {
+  apps::JpipConfig c;
+  c.width = 1280;
+  c.height = 720;
+  c.frames = 24;
+  c.pips = pips;
+  c.factor = 16;
+  c.slices = 45;
+  c.clip_frames = 4;
+  c.reconfigurable = reconfigurable;
+  c.toggle_period = 12;
+  return c;
+}
+
+inline apps::BlurConfig paper_blur(int kernel, bool reconfigurable = false) {
+  apps::BlurConfig c;
+  c.width = 360;
+  c.height = 288;
+  c.frames = 96;
+  c.kernel = kernel;
+  c.slices = 9;
+  c.clip_frames = 8;
+  c.reconfigurable = reconfigurable;
+  c.toggle_period = 12;
+  return c;
+}
+
+inline std::unique_ptr<hinch::Program> build_program(
+    const std::string& spec) {
+  components::register_standard_globally();
+  auto prog =
+      xspcl::build_program(spec, hinch::ComponentRegistry::global());
+  if (!prog.is_ok()) {
+    std::fprintf(stderr, "bench: failed to build program: %s\n",
+                 prog.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(prog).take();
+}
+
+inline hinch::SimResult run_sim(hinch::Program& prog, int64_t iterations,
+                                int cores, bool sync_costs = true,
+                                int window = 5) {
+  hinch::RunConfig run;
+  run.iterations = iterations;
+  run.window = window;
+  hinch::SimParams sim;
+  sim.cores = cores;
+  sim.sync_costs = sync_costs;
+  return hinch::run_on_sim(prog, run, sim);
+}
+
+inline double mcycles(uint64_t cycles) {
+  return static_cast<double>(cycles) / 1e6;
+}
+
+}  // namespace bench

@@ -1,0 +1,79 @@
+// Figure 9 — Parallel speedup on the SpaceCAKE tile (1..9 cores).
+//
+// Paper: speedup of PiP-1/2, JPiP-1/2, Blur-3/5 relative to the fastest
+// sequential version of each application; parallel runs at 1 node
+// disable all synchronization operations. Reported shape: good
+// efficiency for all; Blur best (largest compute-to-communication
+// ratio), JPiP worst (carries its ~18% sequential overhead).
+#include "bench_util.hpp"
+
+namespace {
+
+constexpr int kMaxCores = 9;
+
+struct Series {
+  std::string name;
+  uint64_t base;  // fastest sequential version, cycles
+  std::vector<double> speedup;
+};
+
+Series run_series(const std::string& name, uint64_t seq_cycles,
+                  const std::string& spec, int64_t frames) {
+  auto prog = bench::build_program(spec);
+  Series s;
+  s.name = name;
+  // "All speedup measurements are relative to the fastest sequential
+  // version of the application. For Blur, this is the parallel version."
+  uint64_t xspcl1 =
+      bench::run_sim(*prog, frames, 1, /*sync_costs=*/false).total_cycles;
+  s.base = std::min(seq_cycles, xspcl1);
+  for (int cores = 1; cores <= kMaxCores; ++cores) {
+    uint64_t t =
+        cores == 1
+            ? xspcl1
+            : bench::run_sim(*prog, frames, cores).total_cycles;
+    s.speedup.push_back(static_cast<double>(s.base) /
+                        static_cast<double>(t));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 9: speedup vs cores (relative to fastest sequential)\n");
+
+  std::vector<Series> series;
+  for (int pips : {1, 2}) {
+    apps::PipConfig c = bench::paper_pip(pips);
+    series.push_back(run_series("PiP-" + std::to_string(pips),
+                                apps::run_pip_sequential(c).cycles,
+                                apps::pip_xspcl(c), c.frames));
+  }
+  for (int pips : {1, 2}) {
+    apps::JpipConfig c = bench::paper_jpip(pips);
+    series.push_back(run_series("JPiP-" + std::to_string(pips),
+                                apps::run_jpip_sequential(c).cycles,
+                                apps::jpip_xspcl(c), c.frames));
+  }
+  for (int kernel : {3, 5}) {
+    apps::BlurConfig c = bench::paper_blur(kernel);
+    series.push_back(run_series("Blur-" + std::to_string(kernel),
+                                apps::run_blur_sequential(c).cycles,
+                                apps::blur_xspcl(c), c.frames));
+  }
+
+  std::printf("%-8s", "cores");
+  for (const Series& s : series) std::printf("%9s", s.name.c_str());
+  std::printf("\n");
+  for (int cores = 1; cores <= kMaxCores; ++cores) {
+    std::printf("%-8d", cores);
+    for (const Series& s : series)
+      std::printf("%9.2f", s.speedup[static_cast<size_t>(cores - 1)]);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: all scale well; Blur best (highest compute/comm\n"
+      "ratio); JPiP lowest (sequential overhead carries over).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Interactive reconfiguration (§3.4): a scripted "user" sends events
+// that a manager translates into option toggles and component
+// reconfiguration requests — enabling/disabling the second
+// picture-in-picture and moving the first one around.
+//
+// Demonstrates: event queues, manager rules (toggle / reconfigure /
+// forward), pre-creation of enabled components, and quiescing.
+#include <cstdio>
+
+#include "components/components.hpp"
+#include "components/sinks.hpp"
+#include "hinch/runtime.hpp"
+#include "xspcl/loader.hpp"
+
+namespace {
+
+// The user presses: frame 6 -> show pip2; frame 12 -> move pip1;
+// frame 18 -> hide pip2; frame 24 -> show it again.
+const char* kSpec = R"(
+<xspcl>
+  <procedure name="main">
+    <body>
+      <component name="user" class="event_script">
+        <param name="queue" value="ui"/>
+        <param name="script"
+               value="6:toggle2;12:move1:pos=96,64;18:toggle2;24:toggle2"/>
+      </component>
+      <parallel shape="task">
+        <parblock>
+          <component name="bg_src" class="video_source">
+            <param name="seed" value="1"/>
+            <param name="width" value="192"/>
+            <param name="height" value="144"/>
+            <outport name="out" stream="bg"/>
+          </component>
+        </parblock>
+        <parblock>
+          <component name="pip1_src" class="video_source">
+            <param name="seed" value="2"/>
+            <param name="width" value="192"/>
+            <param name="height" value="144"/>
+            <outport name="out" stream="pip1"/>
+          </component>
+        </parblock>
+      </parallel>
+      <component name="bgcopy" class="copy">
+        <inport name="in" stream="bg"/>
+        <outport name="out" stream="canvas"/>
+      </component>
+      <manager name="mgr" queue="ui">
+        <on event="toggle2" action="toggle" option="pip2"/>
+        <on event="move1" action="reconfigure"/>
+        <body>
+          <component name="ds1" class="downscale">
+            <param name="factor" value="4"/>
+            <inport name="in" stream="pip1"/>
+            <outport name="out" stream="small1"/>
+          </component>
+          <component name="bl1" class="blend">
+            <param name="x" value="8"/>
+            <param name="y" value="8"/>
+            <inport name="fg" stream="small1"/>
+            <outport name="canvas" stream="canvas"/>
+          </component>
+          <option name="pip2" enabled="false">
+            <component name="pip2_src" class="video_source">
+              <param name="seed" value="3"/>
+              <param name="width" value="192"/>
+              <param name="height" value="144"/>
+              <outport name="out" stream="pip2"/>
+            </component>
+            <component name="ds2" class="downscale">
+              <param name="factor" value="4"/>
+              <inport name="in" stream="pip2"/>
+              <outport name="out" stream="small2"/>
+            </component>
+            <component name="bl2" class="blend">
+              <param name="x" value="136"/>
+              <param name="y" value="96"/>
+              <inport name="fg" stream="small2"/>
+              <outport name="canvas" stream="canvas"/>
+            </component>
+          </option>
+        </body>
+      </manager>
+      <component name="sink" class="frame_sink">
+        <param name="store" value="1"/>
+        <inport name="in" stream="canvas"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>
+)";
+
+}  // namespace
+
+int main() {
+  components::register_standard_globally();
+  auto prog = xspcl::build_program(kSpec, hinch::ComponentRegistry::global());
+  if (!prog.is_ok()) {
+    std::fprintf(stderr, "%s\n", prog.status().to_string().c_str());
+    return 1;
+  }
+
+  hinch::RunConfig run;
+  run.iterations = 30;
+  hinch::SimParams sim;
+  sim.cores = 2;
+  hinch::SimResult r = hinch::run_on_sim(*prog.value(), run, sim);
+
+  std::printf("ran %lld frames on %d simulated cores: %llu cycles\n",
+              static_cast<long long>(run.iterations), sim.cores,
+              static_cast<unsigned long long>(r.total_cycles));
+  std::printf("events handled: %llu, reconfigurations (splices): %llu, "
+              "components pre-created: %llu\n",
+              static_cast<unsigned long long>(r.sched.events_handled),
+              static_cast<unsigned long long>(r.sched.reconfigurations),
+              static_cast<unsigned long long>(r.sched.components_created));
+
+  // Show which frames contain the second picture (its bright rectangle
+  // changes the frame hash pattern): count distinct per-frame content by
+  // comparing to a run where pip2 never appears is overkill here — just
+  // report the reconfiguration schedule worked.
+  for (int i = 0; i < prog.value()->component_count(); ++i) {
+    auto* sink = dynamic_cast<const components::SinkAccess*>(
+        &prog.value()->component(i));
+    if (sink)
+      std::printf("sink consumed %d frames, checksum %016llx\n",
+                  sink->sink().frames(),
+                  static_cast<unsigned long long>(sink->sink().checksum()));
+  }
+  return 0;
+}

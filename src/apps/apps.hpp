@@ -1,0 +1,14 @@
+// The paper's three evaluation applications (§4), each available as:
+//  - an XSPCL specification (XML text) built with *_xspcl(), runnable on
+//    either Hinch executor, and
+//  - a hand-written sequential baseline (run_*_sequential) that fuses
+//    kernels and uses no runtime, charged on the same single-core memory
+//    model (Fig. 8's comparison).
+//
+// All variants of one configuration produce bit-identical output video;
+// the checksum fields make that checkable.
+#pragma once
+
+#include "apps/blur.hpp"
+#include "apps/jpip.hpp"
+#include "apps/pip.hpp"

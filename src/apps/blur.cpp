@@ -1,0 +1,156 @@
+#include "apps/blur.hpp"
+
+#include "apps/seq_machine.hpp"
+#include "components/clip_cache.hpp"
+#include "media/kernels.hpp"
+#include "support/strings.hpp"
+
+namespace apps {
+namespace {
+
+using support::format;
+
+// The two-phase crossdep region for one kernel size. `tmp` holds the
+// horizontal phase's output; the vertical phase of slice i needs slices
+// i-1, i, i+1 of it (boundary rows), which is exactly the crossdep
+// pattern of Fig. 5.
+std::string crossdep_xml(const BlurConfig& c, int kernel,
+                         const std::string& tag, const std::string& indent) {
+  std::string tmp = "tmp" + tag;
+  std::string out;
+  auto line = [&](const std::string& s) { out += indent + s + "\n"; };
+  line(format("<parallel shape=\"crossdep\" n=\"%d\">", c.slices));
+  line("  <parblock>");
+  line(format("    <component name=\"hblur%s\" class=\"blur_h\">",
+              tag.c_str()));
+  line(format("      <param name=\"kernel\" value=\"%d\"/>", kernel));
+  line("      <param name=\"plane\" value=\"0\"/>");
+  line("      <inport name=\"in\" stream=\"video\"/>");
+  line(format("      <outport name=\"out\" stream=\"%s\"/>", tmp.c_str()));
+  line("    </component>");
+  line("  </parblock>");
+  line("  <parblock>");
+  line(format("    <component name=\"vblur%s\" class=\"blur_v\">",
+              tag.c_str()));
+  line(format("      <param name=\"kernel\" value=\"%d\"/>", kernel));
+  line(format("      <inport name=\"in\" stream=\"%s\"/>", tmp.c_str()));
+  line("      <outport name=\"out\" stream=\"blurred\"/>");
+  line("    </component>");
+  line("  </parblock>");
+  line("</parallel>");
+  return out;
+}
+
+}  // namespace
+
+std::string blur_xspcl(const BlurConfig& config) {
+  SUP_CHECK(config.kernel == 3 || config.kernel == 5);
+
+  std::string body;
+  body += format(
+      "      <component name=\"src\" class=\"video_source\">\n"
+      "        <param name=\"seed\" value=\"%llu\"/>\n"
+      "        <param name=\"width\" value=\"%d\"/>\n"
+      "        <param name=\"height\" value=\"%d\"/>\n"
+      "        <param name=\"frames\" value=\"%d\"/>\n"
+      "        <outport name=\"out\" stream=\"video\"/>\n"
+      "      </component>\n",
+      static_cast<unsigned long long>(config.seed), config.width,
+      config.height, config.clip_frames);
+
+  if (config.reconfigurable) {
+    // Blur-35 (§4.3): two options, one per kernel size, toggled together
+    // by each `switch` event — exactly one is active at any time.
+    body += format(
+        "      <component name=\"ticker\" class=\"event_ticker\">\n"
+        "        <param name=\"event\" value=\"switch\"/>\n"
+        "        <param name=\"queue\" value=\"ui\"/>\n"
+        "        <param name=\"period\" value=\"%d\"/>\n"
+        "      </component>\n",
+        config.toggle_period);
+    body +=
+        "      <manager name=\"mgr\" queue=\"ui\">\n"
+        "        <on event=\"switch\" action=\"toggle\" option=\"k3\"/>\n"
+        "        <on event=\"switch\" action=\"toggle\" option=\"k5\"/>\n"
+        "        <body>\n";
+    body += format("          <option name=\"k3\" enabled=\"%s\">\n",
+                   config.kernel == 3 ? "true" : "false");
+    body += crossdep_xml(config, 3, "3", "            ");
+    body += "          </option>\n";
+    body += format("          <option name=\"k5\" enabled=\"%s\">\n",
+                   config.kernel == 5 ? "true" : "false");
+    body += crossdep_xml(config, 5, "5", "            ");
+    body += "          </option>\n";
+    body +=
+        "        </body>\n"
+        "      </manager>\n";
+  } else {
+    body += crossdep_xml(config, config.kernel, "", "      ");
+  }
+
+  body += format(
+      "      <component name=\"sink\" class=\"frame_sink\">\n"
+      "        <param name=\"store\" value=\"%d\"/>\n"
+      "        <inport name=\"in\" stream=\"blurred\"/>\n"
+      "      </component>\n",
+      config.store_output ? 1 : 0);
+
+  std::string out = "<xspcl>\n  <procedure name=\"main\">\n    <body>\n";
+  out += body;
+  out += "    </body>\n  </procedure>\n</xspcl>\n";
+  return out;
+}
+
+SeqResult run_blur_sequential(const BlurConfig& config,
+                              const sim::CacheConfig& cache) {
+  SUP_CHECK(!config.reconfigurable);
+  SeqMachine m(cache);
+
+  components::ClipKey key{config.seed, config.width, config.height,
+                          media::PixelFormat::kYuv420, config.clip_frames, 0};
+  auto clip = components::cached_raw_clip(key);
+
+  media::FramePtr tmp = media::make_frame(media::PixelFormat::kGray,
+                                          config.width, config.height);
+  media::FramePtr out = media::make_frame(media::PixelFormat::kGray,
+                                          config.width, config.height);
+  uint64_t in_bytes = clip->frame(0)->bytes();
+  uint64_t plane_bytes = tmp->bytes();
+  sim::RegionId in_r = m.region(in_bytes, "video");
+  sim::RegionId tmp_r = m.region(plane_bytes, "tmp");
+  sim::RegionId out_r = m.region(plane_bytes, "out");
+
+  SeqResult result;
+  for (int t = 0; t < config.frames; ++t) {
+    const media::FramePtr& frame = clip->frame(t % config.clip_frames);
+    media::ConstPlaneView y = frame->plane(0);
+
+    // Input: DMA the file into memory.
+    m.charge(media::io_cycles(in_bytes));
+    m.write(in_r, 0, in_bytes);
+
+    // In the sequential Blur "no operations are combined" (§4.1): the
+    // horizontal pass writes the full temporary plane, then the vertical
+    // pass consumes it — the same structure as the XSPCL version.
+    media::blur_h(y, tmp->plane(0), config.kernel, 0, y.height);
+    m.charge(media::blur_cycles(config.width, config.height, config.kernel));
+    m.read(in_r, frame->plane_offset(0), y.bytes());
+    m.write(tmp_r, 0, plane_bytes);
+
+    media::blur_v(tmp->plane(0), out->plane(0), config.kernel, 0, y.height);
+    m.charge(media::blur_cycles(config.width, config.height, config.kernel));
+    m.read(tmp_r, 0, plane_bytes);
+    m.write(out_r, 0, plane_bytes);
+
+    // Output: DMA the blurred plane out.
+    m.charge(media::io_cycles(plane_bytes));
+    m.read(out_r, 0, plane_bytes);
+    result.checksum = media::frame_hash(*out, result.checksum);
+    ++result.frames;
+  }
+  result.cycles = m.cycles();
+  result.mem = m.mem_stats();
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,33 @@
+// Gaussian Blur (§4): a 3x3 or 5x5 Gaussian kernel applied to the
+// luminance field of an uncompressed 360x288 video. The kernel is
+// separated into horizontal and vertical phases run as crossdep
+// parblocks (Fig. 5) with 9 data-parallel slices.
+#pragma once
+
+#include <string>
+
+#include "apps/pip.hpp"  // SeqResult
+
+namespace apps {
+
+struct BlurConfig {
+  int width = 360;
+  int height = 288;
+  int frames = 96;
+  int kernel = 3;  // 3 or 5 (sigma = 1 in both, §4)
+  int slices = 9;  // paper: 9
+  // Reconfigurable variant (Blur-35): switches between the 3x3 and 5x5
+  // kernels every `toggle_period` frames (§4.3).
+  bool reconfigurable = false;
+  int toggle_period = 12;
+  int clip_frames = 16;
+  uint64_t seed = 501;
+  bool store_output = false;
+};
+
+std::string blur_xspcl(const BlurConfig& config);
+
+SeqResult run_blur_sequential(const BlurConfig& config,
+                              const sim::CacheConfig& cache = {});
+
+}  // namespace apps

@@ -1,0 +1,307 @@
+#include "apps/pip.hpp"
+
+#include "apps/seq_machine.hpp"
+#include "components/clip_cache.hpp"
+#include "media/kernels.hpp"
+#include "support/strings.hpp"
+
+namespace apps {
+namespace {
+
+using support::format;
+
+// One source component tag.
+std::string source_xml(const std::string& name, uint64_t seed,
+                       const PipConfig& c, const std::string& stream) {
+  return format(
+      "      <component name=\"%s\" class=\"video_source\">\n"
+      "        <param name=\"seed\" value=\"%llu\"/>\n"
+      "        <param name=\"width\" value=\"%d\"/>\n"
+      "        <param name=\"height\" value=\"%d\"/>\n"
+      "        <param name=\"frames\" value=\"%d\"/>\n"
+      "        <outport name=\"out\" stream=\"%s\"/>\n"
+      "      </component>\n",
+      name.c_str(), static_cast<unsigned long long>(seed), c.width, c.height,
+      c.clip_frames, stream.c_str());
+}
+
+std::string chain_call_xml(const std::string& name, const std::string& src,
+                           const PipConfig& c, int index) {
+  int x = 0, y = 0;
+  pip_position(c, index, &x, &y);
+  return format(
+      "      <call procedure=\"pip_chain\" name=\"%s\">\n"
+      "        <arg name=\"src\" stream=\"%s\"/>\n"
+      "        <arg name=\"canvas\" stream=\"canvas\"/>\n"
+      "        <arg name=\"factor\" value=\"%d\"/>\n"
+      "        <arg name=\"x\" value=\"%d\"/>\n"
+      "        <arg name=\"y\" value=\"%d\"/>\n"
+      "        <arg name=\"alpha\" value=\"%d\"/>\n"
+      "        <arg name=\"slices\" value=\"%d\"/>\n"
+      "      </call>\n",
+      name.c_str(), src.c_str(), c.factor, x, y, c.alpha, c.slices);
+}
+
+// The downscale+blend procedure: one sliced downscaler and one sliced
+// blender per colour field, fields processed concurrently (§4 item 1).
+const char* kPipChainProcedure = R"(
+  <procedure name="pip_chain">
+    <formal name="src" kind="stream"/>
+    <formal name="canvas" kind="stream"/>
+    <formal name="factor" kind="value"/>
+    <formal name="x" kind="value"/>
+    <formal name="y" kind="value"/>
+    <formal name="alpha" kind="value" default="256"/>
+    <formal name="slices" kind="value"/>
+    <body>
+      <parallel shape="task">
+        <parblock>
+          <parallel shape="slice" n="$slices"><parblock>
+            <component name="ds_y" class="downscale">
+              <param name="factor" value="$factor"/>
+              <param name="plane" value="0"/>
+              <inport name="in" stream="src"/>
+              <outport name="out" stream="ds_y"/>
+            </component>
+          </parblock></parallel>
+        </parblock>
+        <parblock>
+          <parallel shape="slice" n="$slices"><parblock>
+            <component name="ds_u" class="downscale">
+              <param name="factor" value="$factor"/>
+              <param name="plane" value="1"/>
+              <inport name="in" stream="src"/>
+              <outport name="out" stream="ds_u"/>
+            </component>
+          </parblock></parallel>
+        </parblock>
+        <parblock>
+          <parallel shape="slice" n="$slices"><parblock>
+            <component name="ds_v" class="downscale">
+              <param name="factor" value="$factor"/>
+              <param name="plane" value="2"/>
+              <inport name="in" stream="src"/>
+              <outport name="out" stream="ds_v"/>
+            </component>
+          </parblock></parallel>
+        </parblock>
+      </parallel>
+      <parallel shape="task">
+        <parblock>
+          <parallel shape="slice" n="$slices"><parblock>
+            <component name="bl_y" class="blend">
+              <param name="x" value="$x"/>
+              <param name="y" value="$y"/>
+              <param name="alpha" value="$alpha"/>
+              <param name="plane" value="0"/>
+              <inport name="fg" stream="ds_y"/>
+              <outport name="canvas" stream="canvas"/>
+            </component>
+          </parblock></parallel>
+        </parblock>
+        <parblock>
+          <parallel shape="slice" n="$slices"><parblock>
+            <component name="bl_u" class="blend">
+              <param name="x" value="$x"/>
+              <param name="y" value="$y"/>
+              <param name="alpha" value="$alpha"/>
+              <param name="plane" value="1"/>
+              <inport name="fg" stream="ds_u"/>
+              <outport name="canvas" stream="canvas"/>
+            </component>
+          </parblock></parallel>
+        </parblock>
+        <parblock>
+          <parallel shape="slice" n="$slices"><parblock>
+            <component name="bl_v" class="blend">
+              <param name="x" value="$x"/>
+              <param name="y" value="$y"/>
+              <param name="alpha" value="$alpha"/>
+              <param name="plane" value="2"/>
+              <inport name="fg" stream="ds_v"/>
+              <outport name="canvas" stream="canvas"/>
+            </component>
+          </parblock></parallel>
+        </parblock>
+      </parallel>
+    </body>
+  </procedure>
+)";
+
+}  // namespace
+
+void pip_position(const PipConfig& config, int index, int* x, int* y) {
+  int sw = config.width / config.factor;
+  int sh = config.height / config.factor;
+  int col = index % 2;
+  int row = index / 2;
+  *x = col == 0 ? 16 : config.width - sw - 16;
+  *y = 16 + row * (sh + 16);
+  // Even coordinates so 4:2:0 chroma positions are exact.
+  *x &= ~1;
+  *y &= ~1;
+}
+
+std::string pip_xspcl(const PipConfig& config) {
+  SUP_CHECK(config.pips >= 1);
+  SUP_CHECK(!config.reconfigurable || config.pips >= 2);
+
+  std::string body;
+
+  // Sources run concurrently (task shape). For the reconfigurable
+  // variant, pip sources beyond the first live inside their option.
+  int static_pips = config.reconfigurable ? 1 : config.pips;
+  body += "      <parallel shape=\"task\">\n";
+  body += "        <parblock>\n" +
+          source_xml("bg_src", config.bg_seed, config, "bg") +
+          "        </parblock>\n";
+  for (int i = 0; i < static_pips; ++i) {
+    body += "        <parblock>\n" +
+            source_xml(format("pip%d_src", i + 1), config.pip_seed + i,
+                       config, format("pip%d", i + 1)) +
+            "        </parblock>\n";
+  }
+  body += "      </parallel>\n";
+
+  if (config.reconfigurable) {
+    body += format(
+        "      <component name=\"ticker\" class=\"event_ticker\">\n"
+        "        <param name=\"event\" value=\"toggle2\"/>\n"
+        "        <param name=\"queue\" value=\"ui\"/>\n"
+        "        <param name=\"period\" value=\"%d\"/>\n"
+        "      </component>\n",
+        config.toggle_period);
+  }
+
+  // The background copy is data-parallel like the other kernels.
+  body += format(
+      "      <parallel shape=\"slice\" n=\"%d\"><parblock>\n"
+      "      <component name=\"bgcopy\" class=\"copy\">\n"
+      "        <inport name=\"in\" stream=\"bg\"/>\n"
+      "        <outport name=\"out\" stream=\"canvas\"/>\n"
+      "      </component>\n"
+      "      </parblock></parallel>\n",
+      config.slices);
+
+  body += chain_call_xml("pip1", "pip1", config, 0);
+  if (config.reconfigurable) {
+    // PiP-12 (§4.3): the second picture-in-picture is an option managed
+    // by `mgr`, toggled by the ticker's events.
+    body +=
+        "      <manager name=\"mgr\" queue=\"ui\">\n"
+        "        <on event=\"toggle2\" action=\"toggle\" option=\"pip2\"/>\n"
+        "        <body>\n"
+        "          <option name=\"pip2\" enabled=\"false\">\n" +
+        source_xml("pip2_src", config.pip_seed + 1, config, "pip2") +
+        chain_call_xml("pip2", "pip2", config, 1) +
+        "          </option>\n"
+        "        </body>\n"
+        "      </manager>\n";
+  } else {
+    for (int i = 1; i < config.pips; ++i)
+      body += chain_call_xml(format("pip%d", i + 1), format("pip%d", i + 1),
+                             config, i);
+  }
+
+  body += format(
+      "      <component name=\"sink\" class=\"frame_sink\">\n"
+      "        <param name=\"store\" value=\"%d\"/>\n"
+      "        <inport name=\"in\" stream=\"canvas\"/>\n"
+      "      </component>\n",
+      config.store_output ? 1 : 0);
+
+  std::string out = "<xspcl>\n  <procedure name=\"main\">\n    <body>\n";
+  out += body;
+  out += "    </body>\n  </procedure>\n";
+  out += kPipChainProcedure;
+  out += "</xspcl>\n";
+  return out;
+}
+
+SeqResult run_pip_sequential(const PipConfig& config,
+                             const sim::CacheConfig& cache) {
+  SUP_CHECK(!config.reconfigurable);
+  SeqMachine m(cache);
+
+  components::ClipKey bg_key{config.bg_seed, config.width, config.height,
+                             media::PixelFormat::kYuv420, config.clip_frames,
+                             0};
+  auto bg_clip = components::cached_raw_clip(bg_key);
+  std::vector<std::shared_ptr<const media::RawVideo>> pip_clips;
+  for (int i = 0; i < config.pips; ++i) {
+    components::ClipKey key = bg_key;
+    key.seed = config.pip_seed + static_cast<uint64_t>(i);
+    pip_clips.push_back(components::cached_raw_clip(key));
+  }
+
+  media::FramePtr canvas = media::make_frame(media::PixelFormat::kYuv420,
+                                             config.width, config.height);
+  uint64_t frame_bytes = canvas->bytes();
+  sim::RegionId bg_r = m.region(frame_bytes, "bg");
+  std::vector<sim::RegionId> pip_r;
+  for (int i = 0; i < config.pips; ++i)
+    pip_r.push_back(m.region(frame_bytes, format("pip%d", i + 1)));
+  sim::RegionId canvas_r = m.region(frame_bytes, "canvas");
+
+  SeqResult result;
+  for (int t = 0; t < config.frames; ++t) {
+    int ct = t % config.clip_frames;
+    const media::FramePtr& bg = bg_clip->frame(ct);
+
+    // Input: DMA the files into the frame buffers.
+    m.charge(media::io_cycles(frame_bytes));
+    m.write(bg_r, 0, frame_bytes);
+    for (int i = 0; i < config.pips; ++i) {
+      m.charge(media::io_cycles(frame_bytes));
+      m.write(pip_r[static_cast<size_t>(i)], 0, frame_bytes);
+    }
+
+    // Background copy.
+    for (int p = 0; p < 3; ++p) {
+      media::ConstPlaneView src = bg->plane(p);
+      media::copy_plane(src, canvas->plane(p), 0, src.height);
+      m.charge(media::copy_cycles(src.width, src.height));
+      uint64_t off = bg->plane_offset(p);
+      uint64_t len = src.bytes();
+      m.read(bg_r, off, len);
+      m.write(canvas_r, off, len);
+    }
+
+    // Fused downscale+blend — the hand-written version combines the two
+    // operations into one traversal with no intermediate buffer (§4.1).
+    for (int i = 0; i < config.pips; ++i) {
+      const media::FramePtr& pip =
+          pip_clips[static_cast<size_t>(i)]->frame(ct);
+      int x = 0, y = 0;
+      pip_position(config, i, &x, &y);
+      for (int p = 0; p < 3; ++p) {
+        media::ConstPlaneView src = pip->plane(p);
+        media::PlaneView dst = canvas->plane(p);
+        int px = x * dst.width / canvas->width();
+        int py = y * dst.height / canvas->height();
+        media::downscale_blend(src, dst, config.factor, px, py, config.alpha,
+                               0, dst.height);
+        int sw = src.width / config.factor;
+        int sh = src.height / config.factor;
+        m.charge(media::downscale_blend_cycles(sw, sh, config.factor));
+        m.read(pip_r[static_cast<size_t>(i)], pip->plane_offset(p),
+               src.bytes());
+        m.write(canvas_r,
+                canvas->plane_offset(p) +
+                    static_cast<uint64_t>(py) * static_cast<uint64_t>(dst.width),
+                static_cast<uint64_t>(sh) * static_cast<uint64_t>(dst.width));
+      }
+    }
+
+    // Output: DMA the composed frame out.
+    m.charge(media::io_cycles(frame_bytes));
+    m.read(canvas_r, 0, frame_bytes);
+    result.checksum = media::frame_hash(*canvas, result.checksum);
+    ++result.frames;
+  }
+  result.cycles = m.cycles();
+  result.mem = m.mem_stats();
+  return result;
+}
+
+}  // namespace apps

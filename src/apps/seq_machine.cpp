@@ -1,0 +1,24 @@
+#include "apps/seq_machine.hpp"
+
+namespace apps {
+
+SeqMachine::SeqMachine(const sim::CacheConfig& cache)
+    : mem_([&] {
+        sim::CacheConfig c = cache;
+        c.cores = 1;
+        return c;
+      }()) {}
+
+sim::RegionId SeqMachine::region(uint64_t bytes, const std::string& label) {
+  return mem_.register_region(bytes, label);
+}
+
+void SeqMachine::read(sim::RegionId r, uint64_t offset, uint64_t len) {
+  cycles_ += mem_.access(0, r, offset, len, /*write=*/false);
+}
+
+void SeqMachine::write(sim::RegionId r, uint64_t offset, uint64_t len) {
+  cycles_ += mem_.access(0, r, offset, len, /*write=*/true);
+}
+
+}  // namespace apps

@@ -1,0 +1,38 @@
+// Cost accounting for the hand-written sequential application versions.
+//
+// The paper's Fig. 8 compares XSPCL applications against hand-written
+// sequential programs that do not use the Hinch runtime. To make the
+// comparison apples-to-apples, the sequential versions run on the same
+// single-core memory-hierarchy model and charge the same per-kernel
+// compute costs — the only differences are exactly the ones the paper
+// attributes the overhead to: kernel fusion (no intermediate stream
+// buffers) and the absence of runtime scheduling work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cache.hpp"
+
+namespace apps {
+
+class SeqMachine {
+ public:
+  explicit SeqMachine(const sim::CacheConfig& cache = {});
+
+  // Register a buffer (frame, bitstream, coefficient store).
+  sim::RegionId region(uint64_t bytes, const std::string& label);
+
+  void charge(uint64_t cycles) { cycles_ += cycles; }
+  void read(sim::RegionId r, uint64_t offset, uint64_t len);
+  void write(sim::RegionId r, uint64_t offset, uint64_t len);
+
+  uint64_t cycles() const { return cycles_; }
+  const sim::MemStats& mem_stats() const { return mem_.stats(); }
+
+ private:
+  sim::MemorySystem mem_;
+  uint64_t cycles_ = 0;
+};
+
+}  // namespace apps

@@ -1,0 +1,58 @@
+#include "components/clip_cache.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+namespace components {
+namespace {
+
+using MapKey = std::tuple<uint64_t, int, int, int, int, int>;
+
+MapKey map_key(const ClipKey& k) {
+  return {k.seed, k.width, k.height, static_cast<int>(k.format), k.frames,
+          k.quality};
+}
+
+std::mutex g_mutex;
+std::map<MapKey, std::shared_ptr<const media::RawVideo>> g_raw;
+std::map<MapKey, std::shared_ptr<const media::MjpegClip>> g_mjpeg;
+
+}  // namespace
+
+std::shared_ptr<const media::RawVideo> cached_raw_clip(const ClipKey& key) {
+  ClipKey k = key;
+  k.quality = 0;  // irrelevant for raw clips
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& slot = g_raw[map_key(k)];
+  if (!slot) {
+    media::SynthSpec spec;
+    spec.seed = k.seed;
+    spec.width = k.width;
+    spec.height = k.height;
+    spec.format = k.format;
+    slot = std::make_shared<const media::RawVideo>(
+        media::RawVideo::synthesize(spec, k.frames));
+  }
+  return slot;
+}
+
+std::shared_ptr<const media::MjpegClip> cached_mjpeg_clip(const ClipKey& key) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& slot = g_mjpeg[map_key(key)];
+  if (!slot) {
+    media::SynthSpec spec;
+    spec.seed = key.seed;
+    spec.width = key.width;
+    spec.height = key.height;
+    spec.format = key.format;
+    media::RawVideo raw = media::RawVideo::synthesize(spec, key.frames);
+    auto encoded = media::MjpegClip::encode(raw, key.quality);
+    SUP_CHECK_MSG(encoded.is_ok(), encoded.status().to_string().c_str());
+    slot = std::make_shared<const media::MjpegClip>(
+        std::move(encoded).take());
+  }
+  return slot;
+}
+
+}  // namespace components

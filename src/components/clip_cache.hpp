@@ -1,0 +1,32 @@
+// Process-wide cache of synthetic clips and their MJPEG encodings.
+//
+// Benchmarks build the same Program for many core counts; regenerating
+// (and JPEG-encoding) identical input clips each time would dominate
+// build time without changing any result, so clips are cached by their
+// full parameter tuple.
+#pragma once
+
+#include <memory>
+
+#include "media/mjpeg.hpp"
+
+namespace components {
+
+struct ClipKey {
+  uint64_t seed;
+  int width;
+  int height;
+  media::PixelFormat format;
+  int frames;
+  int quality;  // only meaningful for encoded clips
+
+  bool operator==(const ClipKey&) const = default;
+};
+
+// Shared immutable synthetic clip (quality ignored).
+std::shared_ptr<const media::RawVideo> cached_raw_clip(const ClipKey& key);
+
+// Shared immutable MJPEG encoding of the synthetic clip.
+std::shared_ptr<const media::MjpegClip> cached_mjpeg_clip(const ClipKey& key);
+
+}  // namespace components

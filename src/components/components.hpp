@@ -1,0 +1,57 @@
+// The standard component library: the building blocks of the paper's
+// three applications (PiP, JPiP, Blur) plus generic sources, sinks, and
+// event utilities.
+//
+// Component classes (XSPCL `class` attribute → behaviour):
+//
+//   video_source   out:"out"       Emits one uncompressed frame per
+//                                  iteration. params: source=synth|file,
+//                                  seed,width,height,frames,format
+//                                  (synth) or path (file).
+//   mjpeg_source   out:"out"       Emits one JPEG-compressed frame
+//                                  (byte packet) per iteration. params as
+//                                  video_source plus quality.
+//   copy           in:"in" out:"out"
+//                                  Copies the frame (sliced by rows).
+//   downscale      in:"in" out:"out"
+//                                  Box downscale by `factor`. plane=-1:
+//                                  all planes; plane=p: that plane to a
+//                                  gray frame. Sliced by output rows.
+//   blend          in:"fg" out:"canvas" (in-place)
+//                                  Alpha-blends fg over the canvas at
+//                                  (x, y) in target-plane coordinates.
+//                                  params: x,y,alpha,plane. Reconfig
+//                                  request "pos=X,Y" moves the picture
+//                                  (the paper's §3.1 example). Sliced by
+//                                  fg rows.
+//   blur_h/blur_v  in:"in" out:"out"
+//                                  Separable Gaussian (kernel=3|5,
+//                                  plane=p, gray output). Reconfig
+//                                  request "kernel=N" switches size.
+//                                  Sliced by rows.
+//   jpeg_decode    in:"jpeg" out:"coeffs"
+//                                  Entropy decode + dequantize into a
+//                                  CoeffImage packet.
+//   idct           in:"coeffs" out:"out"
+//                                  IDCT of component `plane` into a gray
+//                                  frame. Sliced by block rows.
+//   frame_sink     in:"in"         Consumes frames; FNV checksum, frame
+//                                  count, optional retention (store=1).
+//   yuv_sink       in:"y","u","v"  Reassembles per-plane gray frames;
+//                                  checksum/retention like frame_sink.
+//   event_ticker   (no ports)      Sends `event` to `queue` every
+//                                  `period` iterations (user-interaction
+//                                  stand-in driving reconfiguration).
+#pragma once
+
+#include "hinch/registry.hpp"
+
+namespace components {
+
+// Register every standard class into `registry`.
+void register_standard(hinch::ComponentRegistry& registry);
+
+// Idempotent registration into the global registry.
+void register_standard_globally();
+
+}  // namespace components

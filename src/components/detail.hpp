@@ -1,0 +1,19 @@
+// Shared declarations for the standard component library's translation
+// units (registration hooks and small helpers).
+#pragma once
+
+#include "hinch/registry.hpp"
+#include "media/frame.hpp"
+#include "support/status.hpp"
+
+namespace components {
+
+void register_sources(hinch::ComponentRegistry& registry);
+void register_filters(hinch::ComponentRegistry& registry);
+void register_jpeg_stages(hinch::ComponentRegistry& registry);
+void register_sinks(hinch::ComponentRegistry& registry);
+void register_events(hinch::ComponentRegistry& registry);
+
+support::Result<media::PixelFormat> parse_format(const std::string& s);
+
+}  // namespace components

@@ -1,0 +1,24 @@
+#include "components/components.hpp"
+
+#include <mutex>
+
+#include "components/detail.hpp"
+
+namespace components {
+
+void register_standard(hinch::ComponentRegistry& registry) {
+  register_sources(registry);
+  register_filters(registry);
+  register_jpeg_stages(registry);
+  register_sinks(registry);
+  register_events(registry);
+}
+
+void register_standard_globally() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_standard(hinch::ComponentRegistry::global());
+  });
+}
+
+}  // namespace components

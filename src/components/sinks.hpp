@@ -1,0 +1,52 @@
+// Public access to sink components' accumulated state, used by tests and
+// benchmarks to verify that different executions (sequential baseline,
+// XSPCL/sim, XSPCL/threads, different core counts) produced identical
+// output video.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "media/frame.hpp"
+#include "media/mjpeg.hpp"
+
+namespace components {
+
+class SinkState {
+ public:
+  uint64_t checksum() const;
+  int frames() const;
+  media::FramePtr frame(int i) const;  // only when built with store=1
+
+  void record(const media::Frame& f, bool store);
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex);
+    hash = 14695981039346656037ULL;
+    count = 0;
+    stored.clear();
+  }
+
+ private:
+  friend class SinkStateTestPeer;
+  mutable std::mutex mutex;
+  uint64_t hash = 14695981039346656037ULL;  // FNV-1a offset basis
+  int count = 0;
+  std::vector<media::FramePtr> stored;
+};
+
+// Implemented by sink components; retrieve with
+//   dynamic_cast<const SinkAccess*>(&program.component(i))
+class SinkAccess {
+ public:
+  virtual ~SinkAccess() = default;
+  virtual const SinkState& sink() const = 0;
+};
+
+// Implemented by mjpeg_sink: access the collected compressed clip.
+class MjpegSinkAccess {
+ public:
+  virtual ~MjpegSinkAccess() = default;
+  virtual media::MjpegClip clip() const = 0;
+};
+
+}  // namespace components

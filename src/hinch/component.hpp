@@ -1,0 +1,168 @@
+// The component model (§3.1): components implement the application's
+// basic functionality, communicate through streams bound to named i/o
+// ports, send/receive events, and expose a reconfiguration interface.
+//
+// Components are written against ExecContext, which abstracts over the
+// two executors (SpaceCAKE-sim virtual time / native threads): stream
+// i/o, event sending, and simulated-cost charging (a no-op under the
+// thread executor).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hinch/event.hpp"
+#include "hinch/stream.hpp"
+#include "support/status.hpp"
+
+namespace hinch {
+
+class ExecContext;
+
+// Sorted so iteration order (and thus generated code, hashing, etc.) is
+// deterministic.
+using ParamMap = std::map<std::string, std::string>;
+
+// Construction-time configuration of a component instance.
+struct ComponentConfig {
+  std::string instance;
+  ParamMap params;
+};
+
+// Typed parameter lookup helpers.
+support::Result<std::string> param_string(const ParamMap& params,
+                                          const std::string& name);
+support::Result<int64_t> param_int(const ParamMap& params,
+                                   const std::string& name);
+std::string param_string_or(const ParamMap& params, const std::string& name,
+                            std::string_view fallback);
+int64_t param_int_or(const ParamMap& params, const std::string& name,
+                     int64_t fallback);
+
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  // Execute one iteration: read input ports, write output ports. Runs to
+  // completion; must not block (§3.1).
+  virtual void run(ExecContext& ctx) = 0;
+
+  // Reconfiguration interface (§3.1): components may adjust parameters in
+  // response to a request string. Default: ignore.
+  virtual void reconfigure(std::string_view request) { (void)request; }
+
+  // Reset per-run state (frame counters etc.) so a Program can be
+  // executed repeatedly. Called by the scheduler before each run.
+  virtual void reset() {}
+
+  // --- identity / slicing (set by the runtime) ---
+  const std::string& instance() const { return instance_; }
+  void set_instance(std::string name) { instance_ = std::move(name); }
+
+  // Data-parallel position (§3.3): this copy handles slice
+  // `slice_index` of `slice_count`. Delivered through the
+  // reconfiguration interface as the paper describes.
+  int slice_index() const { return slice_index_; }
+  int slice_count() const { return slice_count_; }
+  void assign_slice(int index, int count);
+
+  // --- ports ---
+  int input_count() const { return static_cast<int>(inputs_.size()); }
+  int output_count() const { return static_cast<int>(outputs_.size()); }
+  const std::string& input_name(int i) const { return inputs_[static_cast<size_t>(i)].name; }
+  const std::string& output_name(int i) const { return outputs_[static_cast<size_t>(i)].name; }
+
+  // Port-index lookup by name; -1 when absent.
+  int find_input(std::string_view name) const;
+  int find_output(std::string_view name) const;
+
+  Stream* input_stream(int i) const { return inputs_[static_cast<size_t>(i)].stream; }
+  Stream* output_stream(int i) const { return outputs_[static_cast<size_t>(i)].stream; }
+  void bind_input(int i, Stream* s) { inputs_[static_cast<size_t>(i)].stream = s; }
+  void bind_output(int i, Stream* s) { outputs_[static_cast<size_t>(i)].stream = s; }
+
+ protected:
+  // Subclass constructors declare their fixed set of ports (§2 item 3a:
+  // "each component has a fixed number of i/o ports").
+  int declare_input(std::string name);
+  int declare_output(std::string name);
+
+ private:
+  struct Port {
+    std::string name;
+    Stream* stream = nullptr;
+  };
+
+  std::string instance_;
+  int slice_index_ = 0;
+  int slice_count_ = 1;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+};
+
+// Helper: the [row0, row1) band of `rows` total rows that slice
+// (index, count) is responsible for. Distributes remainders evenly.
+void slice_rows(int rows, int index, int count, int* row0, int* row1);
+
+// Execution context handed to Component::run.
+class ExecContext {
+ public:
+  ExecContext(Component* comp, int64_t iteration, int core,
+              EventQueueRegistry* queues)
+      : comp_(comp), iteration_(iteration), core_(core), queues_(queues) {}
+
+  int64_t iteration() const { return iteration_; }
+  int core() const { return core_; }
+  Component& component() { return *comp_; }
+
+  // Switch the context to the next component of a grouped task; stream
+  // i/o resolves against the new component's ports, charges keep
+  // accumulating into the same job.
+  void rebind(Component* comp) { comp_ = comp; }
+
+  // --- stream i/o ---
+  const Packet& read(int in_port) const;
+  void write(int out_port, Packet packet);
+  // In-place access to the output stream's slot (read-modify-write
+  // chains, e.g. blending into a shared canvas).
+  Packet& inout(int out_port);
+  // True when the input stream already carries this iteration's data
+  // (used with in-place chains).
+  bool input_ready(int in_port) const;
+
+  // --- events ---
+  void send_event(const std::string& queue, Event ev);
+
+  // --- simulated cost charging (no-ops under the thread executor) ---
+  struct Touch {
+    int stream_index;
+    uint64_t offset;
+    uint64_t len;
+    bool write;
+  };
+  struct Charges {
+    uint64_t compute_cycles = 0;
+    uint64_t scratch_bytes = 0;
+    std::vector<Touch> touches;
+  };
+
+  void charge_compute(uint64_t cycles) { charges_.compute_cycles += cycles; }
+  // Memory traffic on the packet currently in the port's slot.
+  void touch_read(int in_port, uint64_t offset, uint64_t len);
+  void touch_write(int out_port, uint64_t offset, uint64_t len);
+  // Private working memory of the component (decode state etc.).
+  void touch_scratch(uint64_t bytes) { charges_.scratch_bytes += bytes; }
+
+  const Charges& charges() const { return charges_; }
+
+ private:
+  Component* comp_;
+  int64_t iteration_;
+  int core_;
+  EventQueueRegistry* queues_;
+  Charges charges_;
+};
+
+}  // namespace hinch

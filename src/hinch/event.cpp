@@ -1,0 +1,50 @@
+#include "hinch/event.hpp"
+
+namespace hinch {
+
+void EventQueue::push(Event ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::optional<Event> EventQueue::poll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.empty()) return std::nullopt;
+  Event ev = std::move(events_.front());
+  events_.pop_front();
+  return ev;
+}
+
+bool EventQueue::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty();
+}
+
+size_t EventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+EventQueue& EventQueueRegistry::get_or_create(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find(name);
+  if (it == queues_.end())
+    it = queues_.emplace(name, std::make_unique<EventQueue>(name)).first;
+  return *it->second;
+}
+
+EventQueue* EventQueueRegistry::find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find(name);
+  return it == queues_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> EventQueueRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(queues_.size());
+  for (const auto& [name, q] : queues_) out.push_back(name);
+  return out;
+}
+
+}  // namespace hinch

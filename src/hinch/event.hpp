@@ -1,0 +1,59 @@
+// Asynchronous event communication (§2 item 3b, §3.4).
+//
+// Events are small messages sent between components and polled by
+// reconfiguration managers. Queues are named; a component is handed the
+// queue of its manager through an initialization parameter, exactly as
+// the paper's prototype does (§3.4).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hinch {
+
+struct Event {
+  std::string name;
+  std::string payload;  // optional small data
+};
+
+// MPSC-ish FIFO. Thread-safe: the thread executor runs components
+// concurrently; the sim executor is single-threaded but shares the code.
+class EventQueue {
+ public:
+  explicit EventQueue(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void push(Event ev);
+  std::optional<Event> poll();
+  bool empty() const;
+  size_t size() const;
+
+ private:
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::deque<Event> events_;
+};
+
+// Name -> queue map owned by a Program. Thread-safe: components running
+// under the thread executor may create queues concurrently.
+class EventQueueRegistry {
+ public:
+  // Creates the queue if it does not exist yet.
+  EventQueue& get_or_create(const std::string& name);
+  // nullptr when absent.
+  EventQueue* find(const std::string& name);
+
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<EventQueue>> queues_;
+};
+
+}  // namespace hinch

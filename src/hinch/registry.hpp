@@ -1,0 +1,42 @@
+// Component class registry: maps the `class` attribute of an XSPCL
+// component tag (§3.1) to a factory. The standard component library
+// (src/components) registers itself into the global registry; embedders
+// can register their own classes or use private registries in tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hinch/component.hpp"
+#include "support/status.hpp"
+
+namespace hinch {
+
+class ComponentRegistry {
+ public:
+  using Factory = std::function<support::Result<std::unique_ptr<Component>>(
+      const ComponentConfig&)>;
+
+  // Registering the same class twice is a programming error.
+  void register_class(const std::string& name, Factory factory);
+  bool has_class(const std::string& name) const;
+  std::vector<std::string> class_names() const;
+
+  support::Result<std::unique_ptr<Component>> create(
+      const std::string& klass, const ComponentConfig& config) const;
+
+  // Process-wide registry used by the standard library and tools.
+  static ComponentRegistry& global();
+
+ private:
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+}  // namespace hinch
+
+// Note: registration is explicit (components::register_standard) rather
+// than via static initializers, which a static library would silently
+// drop at link time.

@@ -1,0 +1,26 @@
+#include "hinch/runtime.hpp"
+
+namespace hinch {
+
+RunResult run(Program& prog, const RunOptions& options) {
+  RunResult result;
+  result.backend = options.backend;
+  switch (options.backend) {
+    case Backend::kSim: {
+      SimResult r = run_on_sim(prog, options.run, options.sim);
+      result.cycles = r.total_cycles;
+      result.sched = r.sched;
+      result.mem = r.mem;
+      break;
+    }
+    case Backend::kThreads: {
+      ThreadResult r = run_on_threads(prog, options.run, options.workers);
+      result.wall_seconds = r.wall_seconds;
+      result.sched = r.sched;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hinch

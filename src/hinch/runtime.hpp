@@ -1,0 +1,43 @@
+// Umbrella header and convenience entry points for the Hinch run-time
+// system. Typical embedding:
+//
+//   sp::NodePtr graph = ...;                     // or xspcl::load_file()
+//   auto prog = hinch::Program::build(*graph, hinch::ComponentRegistry::global());
+//   hinch::RunConfig run{.iterations = 96, .window = 5};
+//   hinch::SimResult r = hinch::run_on_sim(*prog.value(), run, {.cores = 4});
+#pragma once
+
+#include "hinch/component.hpp"
+#include "hinch/event.hpp"
+#include "hinch/program.hpp"
+#include "hinch/registry.hpp"
+#include "hinch/scheduler.hpp"
+#include "hinch/sim_executor.hpp"
+#include "hinch/stream.hpp"
+#include "hinch/thread_executor.hpp"
+
+namespace hinch {
+
+// Which executor carries out the run.
+enum class Backend { kSim, kThreads };
+
+struct RunOptions {
+  RunConfig run;
+  Backend backend = Backend::kSim;
+  SimParams sim;    // used when backend == kSim
+  int workers = 1;  // used when backend == kThreads
+};
+
+// Unified result: virtual cycles for the sim backend, wall seconds for
+// the thread backend.
+struct RunResult {
+  Backend backend = Backend::kSim;
+  sim::Cycles cycles = 0;
+  double wall_seconds = 0;
+  SchedulerStats sched;
+  sim::MemStats mem;
+};
+
+RunResult run(Program& prog, const RunOptions& options);
+
+}  // namespace hinch

@@ -1,0 +1,254 @@
+#include "hinch/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace hinch {
+
+Scheduler::Scheduler(Program& prog, const RunConfig& config)
+    : prog_(prog), config_(config), ntasks_(prog.tasks().size()) {
+  SUP_CHECK(config_.iterations >= 0);
+  config_.window = std::max(1, std::min(config_.window, prog.stream_depth()));
+  instances_.assign(static_cast<size_t>(config_.window) * ntasks_, {});
+  done_counts_.assign(static_cast<size_t>(config_.window), 0);
+  option_active_.reserve(prog.options().size());
+  for (const OptionInfo& o : prog.options())
+    option_active_.push_back(o.initially_enabled);
+  manager_run_ = std::vector<ManagerRun>(prog.managers().size());
+  for (int c = 0; c < prog.component_count(); ++c) prog.component(c).reset();
+  for (const auto& s : prog.streams()) s->reset();
+}
+
+bool Scheduler::task_skipped(const Task& t) const {
+  for (int opt : t.options)
+    if (!option_active_[static_cast<size_t>(opt)]) return true;
+  return false;
+}
+
+std::vector<JobRef> Scheduler::start() {
+  std::vector<JobRef> ready;
+  int64_t first_batch = std::min<int64_t>(config_.window, config_.iterations);
+  for (int64_t k = 0; k < first_batch; ++k) admit_iteration(k, &ready);
+  return ready;
+}
+
+void Scheduler::admit_iteration(int64_t iter, std::vector<JobRef>* ready) {
+  SUP_CHECK(iter == admitted_);
+  ++admitted_;
+  done_counts_[static_cast<size_t>(iter % config_.window)] = 0;
+  // Initialize instances with their unmet-dependency counts.
+  for (const Task& t : prog_.tasks()) {
+    Instance& in = inst(t.id, iter);
+    in.state = InstState::kWaiting;
+    in.remaining = static_cast<int>(t.preds.size());
+    if (iter > 0 && config_.window > 1) {
+      // Self-dependency: a component is sequential with itself across
+      // iterations. The previous instance's slot is still live here
+      // (distinct ring slot). With window == 1 the previous iteration is
+      // fully complete by construction — admission happens when
+      // iteration iter-window finishes — and its slot aliases this one,
+      // so it must not be consulted.
+      if (inst(t.id, iter - 1).state != InstState::kDone) ++in.remaining;
+    }
+  }
+  // Fire everything that is already unblocked.
+  for (const Task& t : prog_.tasks()) {
+    if (inst(t.id, iter).state == InstState::kWaiting &&
+        inst(t.id, iter).remaining == 0) {
+      fire(t.id, iter, ready);
+    }
+  }
+}
+
+void Scheduler::fire(int task, int64_t iter, std::vector<JobRef>* ready) {
+  Instance& in = inst(task, iter);
+  SUP_CHECK(in.state == InstState::kWaiting && in.remaining == 0);
+  const Task& t = prog_.task(task);
+  if (task_skipped(t)) {
+    ++stats_.jobs_skipped;
+    finish(task, iter, ready);
+    return;
+  }
+  in.state = InstState::kReady;
+  ready->push_back(JobRef{task, iter, 0});
+}
+
+void Scheduler::finish(int task, int64_t iter, std::vector<JobRef>* ready) {
+  Instance& in = inst(task, iter);
+  SUP_CHECK(in.state != InstState::kDone);
+  in.state = InstState::kDone;
+  const Task& t = prog_.task(task);
+
+  // Manager quiesce bookkeeping: an exit completing may unblock a
+  // pending reconfiguration of the next iteration's enter.
+  if (t.kind == TaskKind::kManagerExit) {
+    ManagerRun& run = manager_run_[static_cast<size_t>(t.manager)];
+    run.last_exit_done = iter;
+    if (run.waiting_iter == iter + 1) {
+      ready->push_back(
+          JobRef{prog_.managers()[static_cast<size_t>(t.manager)].enter_task,
+                 iter + 1, 1});
+    }
+  }
+
+  // Successors within the iteration.
+  for (int s : t.succs) {
+    Instance& succ = inst(s, iter);
+    SUP_CHECK(succ.state == InstState::kWaiting && succ.remaining > 0);
+    if (--succ.remaining == 0) fire(s, iter, ready);
+  }
+  // Self-dependency of the next iteration, if it has been admitted.
+  if (iter + 1 < admitted_) {
+    Instance& next = inst(task, iter + 1);
+    if (next.state == InstState::kWaiting && --next.remaining == 0)
+      fire(task, iter + 1, ready);
+  }
+
+  // Iteration completion (iterations always complete in order because of
+  // the per-task self-dependencies).
+  int64_t& done = done_counts_[static_cast<size_t>(iter % config_.window)];
+  if (++done == static_cast<int64_t>(ntasks_)) {
+    SUP_CHECK(iter == iterations_done_);
+    iterations_done_ = iter + 1;
+    if (admitted_ < config_.iterations) admit_iteration(admitted_, ready);
+  }
+}
+
+Component* Scheduler::job_component(const JobRef& job) {
+  const Task& t = prog_.task(job.task);
+  return t.components.empty() ? nullptr
+                              : &prog_.component(t.components.front());
+}
+
+void Scheduler::execute(const JobRef& job, ExecContext& ctx) {
+  const Task& t = prog_.task(job.task);
+  if (job.phase == 1) {
+    // Reconfiguration splice: the subgraph is quiescent; adding the
+    // pre-created components and synchronizing them is cheap (§3.4).
+    ManagerRun& run = manager_run_[static_cast<size_t>(t.manager)];
+    uint64_t comps = 0;
+    for (const auto& [opt, on] : run.pending_flips) {
+      (void)on;
+      comps += prog_.options()[static_cast<size_t>(opt)].components.size();
+    }
+    ctx.charge_compute(config_.costs.splice_base_cycles +
+                       comps * config_.costs.splice_per_component_cycles);
+    return;
+  }
+  switch (t.kind) {
+    case TaskKind::kComponent:
+      // Grouped components run back to back within the same job (same
+      // core, shared charge accumulator): the §4.1 fusion behaviour.
+      for (int comp : t.components) {
+        ctx.rebind(&prog_.component(comp));
+        prog_.component(comp).run(ctx);
+      }
+      break;
+    case TaskKind::kManagerEnter:
+    case TaskKind::kManagerExit:
+      poll_manager(t.manager, ctx);
+      break;
+  }
+}
+
+void Scheduler::poll_manager(int mgr_idx, ExecContext& ctx) {
+  const ManagerInfo& info = prog_.managers()[static_cast<size_t>(mgr_idx)];
+  ManagerRun& run = manager_run_[static_cast<size_t>(mgr_idx)];
+  std::lock_guard<std::mutex> lock(run.mutex);
+  ctx.charge_compute(config_.costs.manager_poll_cycles);
+
+  EventQueue* queue = prog_.queues().find(info.queue);
+  SUP_CHECK(queue != nullptr);
+  while (auto ev = queue->poll()) {
+    ++run.events_handled;
+    for (const sp::EventRule& rule : info.rules) {
+      if (rule.event != ev->name) continue;
+      switch (rule.action) {
+        case sp::EventAction::kEnable:
+        case sp::EventAction::kDisable:
+        case sp::EventAction::kToggle: {
+          // Resolve the option by its spec-level (base) name.
+          for (int opt : info.options) {
+            const OptionInfo& oi = prog_.options()[static_cast<size_t>(opt)];
+            if (oi.base != rule.target) continue;
+            bool current = option_active_[static_cast<size_t>(opt)];
+            for (const auto& [p, on] : run.pending_flips)
+              if (p == opt) current = on;
+            bool desired = rule.action == sp::EventAction::kEnable
+                               ? true
+                               : rule.action == sp::EventAction::kDisable
+                                     ? false
+                                     : !current;
+            // "The event is ignored when the option is already in the
+            // required state." (§3.4)
+            if (desired == current) continue;
+            run.pending_flips.emplace_back(opt, desired);
+            if (desired) {
+              // Pre-create the option's components now, overlapping with
+              // execution, so the quiesced window stays short (§3.4).
+              uint64_t n = oi.components.size();
+              run.components_created += n;
+              ctx.charge_compute(n * config_.costs.component_create_cycles);
+            }
+          }
+          break;
+        }
+        case sp::EventAction::kForward:
+          prog_.queues().get_or_create(rule.target).push(*ev);
+          break;
+        case sp::EventAction::kReconfigure: {
+          const std::string& req =
+              rule.payload.empty() ? ev->payload : rule.payload;
+          for (int c : info.components) prog_.component(c).reconfigure(req);
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<JobRef> Scheduler::complete(const JobRef& job) {
+  std::vector<JobRef> ready;
+  const Task& t = prog_.task(job.task);
+  ++stats_.jobs_executed;
+
+  if (job.phase == 1) {
+    // Apply the configuration flip between iterations.
+    ManagerRun& run = manager_run_[static_cast<size_t>(t.manager)];
+    std::lock_guard<std::mutex> lock(run.mutex);
+    for (const auto& [opt, on] : run.pending_flips)
+      option_active_[static_cast<size_t>(opt)] = on;
+    run.pending_flips.clear();
+    run.waiting_iter = -1;
+    ++stats_.reconfigurations;
+    stats_.events_handled += run.events_handled;
+    run.events_handled = 0;
+    stats_.components_created += run.components_created;
+    run.components_created = 0;
+    finish(job.task, job.iter, &ready);
+    return ready;
+  }
+
+  if (t.kind == TaskKind::kManagerEnter) {
+    ManagerRun& run = manager_run_[static_cast<size_t>(t.manager)];
+    std::lock_guard<std::mutex> lock(run.mutex);
+    if (!run.pending_flips.empty()) {
+      // Quiesce: the subgraph may still be executing earlier iterations;
+      // splice only once the previous iteration has fully exited.
+      if (job.iter == 0 || run.last_exit_done >= job.iter - 1) {
+        ready.push_back(JobRef{job.task, job.iter, 1});
+      } else {
+        run.waiting_iter = job.iter;
+      }
+      return ready;
+    }
+    stats_.events_handled += run.events_handled;
+    run.events_handled = 0;
+  }
+
+  finish(job.task, job.iter, &ready);
+  return ready;
+}
+
+}  // namespace hinch

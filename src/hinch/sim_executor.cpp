@@ -1,0 +1,187 @@
+#include "hinch/sim_executor.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace hinch {
+namespace {
+
+// Lazily-registered memory regions for stream slots and component
+// scratch space. A (stream, slot) pair keeps one region across slot
+// reuse, modelling the frame-pool behaviour of the runtime.
+class RegionTable {
+ public:
+  RegionTable(sim::MemorySystem* mem, int depth)
+      : mem_(mem), depth_(depth) {}
+
+  sim::RegionId stream_region(int stream_index, int64_t iter,
+                              uint64_t min_bytes) {
+    uint64_t key = (static_cast<uint64_t>(stream_index) << 8) |
+                   static_cast<uint64_t>(iter % depth_);
+    return lookup(stream_regions_, key, min_bytes, "stream");
+  }
+
+  sim::RegionId scratch_region(int task, uint64_t min_bytes) {
+    return lookup(scratch_regions_, static_cast<uint64_t>(task),
+                  min_bytes, "scratch");
+  }
+
+ private:
+  struct Entry {
+    sim::RegionId id;
+    uint64_t bytes;
+  };
+
+  sim::RegionId lookup(std::unordered_map<uint64_t, Entry>& table,
+                       uint64_t key, uint64_t min_bytes, const char* what) {
+    auto it = table.find(key);
+    if (it != table.end()) {
+      if (it->second.bytes >= min_bytes) return it->second.id;
+      mem_->release_region(it->second.id);
+      table.erase(it);
+    }
+    sim::RegionId id = mem_->register_region(min_bytes, what);
+    table.emplace(key, Entry{id, min_bytes});
+    return id;
+  }
+
+  sim::MemorySystem* mem_;
+  int depth_;
+  std::unordered_map<uint64_t, Entry> stream_regions_;
+  std::unordered_map<uint64_t, Entry> scratch_regions_;
+};
+
+class SimRun {
+ public:
+  SimRun(Program& prog, const RunConfig& config, const SimParams& params)
+      : prog_(prog),
+        scheduler_(prog, config),
+        params_(params),
+        cache_config_(params.cache),
+        regions_(nullptr, prog.stream_depth()) {
+    SUP_CHECK(params.cores >= 1);
+    cache_config_.cores = params.cores;
+    mem_ = std::make_unique<sim::MemorySystem>(cache_config_);
+    regions_ = RegionTable(mem_.get(), prog.stream_depth());
+    core_busy_.assign(static_cast<size_t>(params.cores), 0);
+    core_idle_.assign(static_cast<size_t>(params.cores), true);
+    task_cycles_.assign(prog.tasks().size(), 0);
+    task_runs_.assign(prog.tasks().size(), 0);
+    if (!params_.sync_costs) {
+      params_.queue_lock_cycles = 0;
+      params_.dequeue_cycles = 0;
+      params_.enqueue_cycles = 0;
+    }
+  }
+
+  SimResult run() {
+    for (const JobRef& job : scheduler_.start()) queue_.push_back(job);
+    dispatch();
+    engine_.run();
+    SUP_CHECK_MSG(scheduler_.finished(),
+                  "simulation drained with unfinished iterations");
+    SimResult result;
+    result.total_cycles = engine_.now();
+    result.mem = mem_->stats();
+    result.sched = scheduler_.stats();
+    result.core_busy = core_busy_;
+    result.queue_wait_cycles = queue_wait_;
+    result.jobs = jobs_;
+    result.task_cycles = task_cycles_;
+    result.task_runs = task_runs_;
+    return result;
+  }
+
+ private:
+  // Assign queued jobs to idle cores (lowest core id first, FIFO jobs).
+  void dispatch() {
+    while (!queue_.empty()) {
+      int core = -1;
+      for (size_t i = 0; i < core_idle_.size(); ++i) {
+        if (core_idle_[i]) {
+          core = static_cast<int>(i);
+          break;
+        }
+      }
+      if (core < 0) return;
+      JobRef job = queue_.front();
+      queue_.pop_front();
+      core_idle_[static_cast<size_t>(core)] = false;
+
+      // Take the central queue's lock (a serial resource).
+      sim::Cycles acquire = std::max(engine_.now(), queue_free_at_);
+      queue_wait_ += acquire - engine_.now();
+      queue_free_at_ =
+          acquire + params_.queue_lock_cycles + params_.dequeue_cycles;
+      sim::Cycles start = queue_free_at_;
+      engine_.schedule_at(start, [this, job, core] { start_job(job, core); });
+    }
+  }
+
+  void start_job(JobRef job, int core) {
+    ExecContext ctx(scheduler_.job_component(job), job.iter, core,
+                    &prog_.queues());
+    scheduler_.execute(job, ctx);
+    ++jobs_;
+
+    const ExecContext::Charges& charges = ctx.charges();
+    sim::Cycles cost = charges.compute_cycles;
+    for (const ExecContext::Touch& t : charges.touches) {
+      sim::RegionId region = regions_.stream_region(
+          t.stream_index, job.iter, t.offset + t.len);
+      cost += mem_->access(core, region, t.offset, t.len, t.write);
+    }
+    if (charges.scratch_bytes > 0) {
+      sim::RegionId region =
+          regions_.scratch_region(job.task, charges.scratch_bytes);
+      cost += mem_->access(core, region, 0, charges.scratch_bytes,
+                           /*write=*/true);
+    }
+    core_busy_[static_cast<size_t>(core)] += cost;
+    task_cycles_[static_cast<size_t>(job.task)] += cost;
+    ++task_runs_[static_cast<size_t>(job.task)];
+    engine_.schedule_after(cost, [this, job, core] { end_job(job, core); });
+  }
+
+  void end_job(JobRef job, int core) {
+    std::vector<JobRef> newly = scheduler_.complete(job);
+    for (const JobRef& j : newly) queue_.push_back(j);
+    // The completing core enqueues its successors before going idle.
+    sim::Cycles enqueue_cost =
+        params_.enqueue_cycles * static_cast<sim::Cycles>(newly.size());
+    core_busy_[static_cast<size_t>(core)] += enqueue_cost;
+    engine_.schedule_after(enqueue_cost, [this, core] {
+      core_idle_[static_cast<size_t>(core)] = true;
+      dispatch();
+    });
+    // Jobs may be dispatchable on other idle cores right away.
+    dispatch();
+  }
+
+  Program& prog_;
+  Scheduler scheduler_;
+  SimParams params_;
+  sim::CacheConfig cache_config_;
+  sim::Engine engine_;
+  std::unique_ptr<sim::MemorySystem> mem_;
+  RegionTable regions_;
+
+  std::deque<JobRef> queue_;
+  std::vector<bool> core_idle_;
+  std::vector<sim::Cycles> core_busy_;
+  sim::Cycles queue_free_at_ = 0;
+  sim::Cycles queue_wait_ = 0;
+  uint64_t jobs_ = 0;
+  std::vector<sim::Cycles> task_cycles_;
+  std::vector<uint64_t> task_runs_;
+};
+
+}  // namespace
+
+SimResult run_on_sim(Program& prog, const RunConfig& config,
+                     const SimParams& params) {
+  SimRun run(prog, config, params);
+  return run.run();
+}
+
+}  // namespace hinch

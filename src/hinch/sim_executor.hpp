@@ -1,0 +1,56 @@
+// Executes a Program on the SpaceCAKE-substitute simulator: N cores pull
+// jobs from a central job queue (Hinch's automatic load balancing, §1)
+// in virtual time; job costs are the kernels' charged compute cycles plus
+// memory-hierarchy stalls from the cache model; the queue's lock is a
+// serial resource, so queue contention grows with core count.
+//
+// Everything is deterministic: same program + config => identical cycle
+// counts, which the paper-figure benches and the tests rely on.
+#pragma once
+
+#include "hinch/scheduler.hpp"
+#include "sim/cache.hpp"
+#include "sim/engine.hpp"
+
+namespace hinch {
+
+struct SimParams {
+  int cores = 1;
+  sim::CacheConfig cache;  // `cores` is overwritten from the field above
+  // Central job queue costs (§4.2: parallel runs at 1 node disable all
+  // synchronization operations — set sync_costs=false to model that).
+  sim::Cycles queue_lock_cycles = 60;
+  sim::Cycles dequeue_cycles = 80;
+  sim::Cycles enqueue_cycles = 80;
+  bool sync_costs = true;
+};
+
+struct SimResult {
+  sim::Cycles total_cycles = 0;
+  sim::MemStats mem;
+  SchedulerStats sched;
+  std::vector<sim::Cycles> core_busy;  // per-core execution cycles
+  sim::Cycles queue_wait_cycles = 0;   // time cores spent on the queue lock
+  uint64_t jobs = 0;
+  // Per-task profile (indexed by task id): total charged cycles and
+  // execution count — input for the perf prediction module.
+  std::vector<sim::Cycles> task_cycles;
+  std::vector<uint64_t> task_runs;
+
+  double utilization() const {
+    if (total_cycles == 0 || core_busy.empty()) return 0.0;
+    sim::Cycles busy = 0;
+    for (sim::Cycles c : core_busy) busy += c;
+    return static_cast<double>(busy) /
+           (static_cast<double>(total_cycles) *
+            static_cast<double>(core_busy.size()));
+  }
+};
+
+// Run to completion (all iterations of `config`). Aborts on deadlock
+// (events drained but iterations remain), which cannot happen for valid
+// SP programs (§3.1's no-deadlock guarantee).
+SimResult run_on_sim(Program& prog, const RunConfig& config,
+                     const SimParams& params);
+
+}  // namespace hinch

@@ -1,0 +1,89 @@
+#include "hinch/thread_executor.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hinch {
+namespace {
+
+class ThreadRun {
+ public:
+  ThreadRun(Program& prog, const RunConfig& config)
+      : prog_(prog), scheduler_(prog, config) {}
+
+  ThreadResult run(int workers) {
+    SUP_CHECK(workers >= 1);
+    auto t0 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const JobRef& job : scheduler_.start()) queue_.push_back(job);
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+      pool.emplace_back([this, w] { worker(w); });
+    for (std::thread& t : pool) t.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    SUP_CHECK_MSG(scheduler_.finished(),
+                  "worker pool drained with unfinished iterations");
+    ThreadResult result;
+    result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.sched = scheduler_.stats();
+    result.jobs = jobs_;
+    return result;
+  }
+
+ private:
+  void worker(int id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [this] {
+        return !queue_.empty() || (running_ == 0 && queue_.empty());
+      });
+      if (queue_.empty()) {
+        // Nothing queued and nothing running: the program is finished
+        // (or would be deadlocked, which valid SP programs cannot be).
+        cv_.notify_all();
+        return;
+      }
+      JobRef job = queue_.front();
+      queue_.pop_front();
+      ++running_;
+      lock.unlock();
+
+      ExecContext ctx(scheduler_.job_component(job), job.iter, id,
+                      &prog_.queues());
+      scheduler_.execute(job, ctx);
+
+      lock.lock();
+      ++jobs_;
+      std::vector<JobRef> newly = scheduler_.complete(job);
+      --running_;
+      for (const JobRef& j : newly) queue_.push_back(j);
+      if (!newly.empty() || running_ == 0) cv_.notify_all();
+    }
+  }
+
+  Program& prog_;
+  Scheduler scheduler_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<JobRef> queue_;
+  int running_ = 0;
+  uint64_t jobs_ = 0;
+};
+
+}  // namespace
+
+ThreadResult run_on_threads(Program& prog, const RunConfig& config,
+                            int workers) {
+  ThreadRun run(prog, config);
+  return run.run(workers);
+}
+
+}  // namespace hinch

@@ -1,0 +1,23 @@
+// Native execution: a pool of worker threads pulling jobs from a central
+// job queue protected by one mutex — exactly the Hinch design the paper
+// describes (§1: "automatic load balancing using a central job queue").
+//
+// Used by the example applications and the correctness tests; the
+// simulator backend is what reproduces the paper's cycle counts.
+#pragma once
+
+#include "hinch/scheduler.hpp"
+
+namespace hinch {
+
+struct ThreadResult {
+  double wall_seconds = 0;
+  SchedulerStats sched;
+  uint64_t jobs = 0;
+};
+
+// Runs all iterations with `workers` threads (>= 1).
+ThreadResult run_on_threads(Program& prog, const RunConfig& config,
+                            int workers);
+
+}  // namespace hinch

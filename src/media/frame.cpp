@@ -1,0 +1,71 @@
+#include "media/frame.hpp"
+
+#include <cstring>
+
+namespace media {
+
+int plane_count(PixelFormat fmt) { return fmt == PixelFormat::kGray ? 1 : 3; }
+
+void plane_dims(PixelFormat fmt, int w, int h, int plane, int* pw, int* ph) {
+  SUP_CHECK(plane >= 0 && plane < plane_count(fmt));
+  if (plane == 0 || fmt == PixelFormat::kYuv444) {
+    *pw = w;
+    *ph = h;
+  } else {
+    *pw = (w + 1) / 2;
+    *ph = (h + 1) / 2;
+  }
+}
+
+Frame::Frame(PixelFormat fmt, int width, int height)
+    : fmt_(fmt), width_(width), height_(height) {
+  SUP_CHECK(width > 0 && height > 0);
+  size_t total = 0;
+  const int n = plane_count(fmt);
+  offsets_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int pw = 0;
+    int ph = 0;
+    plane_dims(fmt, width, height, i, &pw, &ph);
+    offsets_[static_cast<size_t>(i)] = total;
+    total += static_cast<size_t>(pw) * static_cast<size_t>(ph);
+  }
+  data_.assign(total, 0);
+}
+
+PlaneView Frame::plane(int i) {
+  int pw = 0;
+  int ph = 0;
+  plane_dims(fmt_, width_, height_, i, &pw, &ph);
+  return PlaneView{data_.data() + offsets_[static_cast<size_t>(i)], pw, ph,
+                   pw};
+}
+
+ConstPlaneView Frame::plane(int i) const {
+  int pw = 0;
+  int ph = 0;
+  plane_dims(fmt_, width_, height_, i, &pw, &ph);
+  return ConstPlaneView{data_.data() + offsets_[static_cast<size_t>(i)], pw,
+                        ph, pw};
+}
+
+void Frame::fill(uint8_t value) {
+  std::memset(data_.data(), value, data_.size());
+}
+
+bool Frame::equals(const Frame& other) const {
+  return fmt_ == other.fmt_ && width_ == other.width_ &&
+         height_ == other.height_ && data_ == other.data_;
+}
+
+FramePtr Frame::clone() const {
+  auto copy = std::make_shared<Frame>(fmt_, width_, height_);
+  copy->data_ = data_;
+  return copy;
+}
+
+FramePtr make_frame(PixelFormat fmt, int width, int height) {
+  return std::make_shared<Frame>(fmt, width, height);
+}
+
+}  // namespace media

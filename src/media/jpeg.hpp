@@ -1,0 +1,76 @@
+// Baseline JFIF/JPEG codec, written from scratch (ITU-T T.81 baseline
+// sequential DCT, Annex-K tables). Substrate for the paper's JPiP
+// application.
+//
+// The decoder is deliberately split into the two phases the paper's
+// JPiP task graph uses (Fig. 7):
+//   1. decode_to_coefficients — marker parse + Huffman entropy decode +
+//      dequantization ("JPEG decode" component), then
+//   2. idct_component          — per-plane IDCT over a block-row range
+//      ("IDCT Y/U/V" components, data-parallel over slices).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "media/frame.hpp"
+#include "support/status.hpp"
+
+namespace media::jpeg {
+
+// Dequantized DCT coefficients of one colour component.
+struct CoeffPlane {
+  int blocks_w = 0;  // blocks per row
+  int blocks_h = 0;  // block rows
+  int width = 0;     // pixel width (may be less than 8*blocks_w)
+  int height = 0;
+  // blocks_w * blocks_h blocks in raster order, natural (de-zigzagged)
+  // coefficient order, already multiplied by the quantization table.
+  std::vector<std::array<int16_t, 64>> blocks;
+};
+
+// Result of the entropy-decode phase.
+struct CoeffImage {
+  int width = 0;
+  int height = 0;
+  PixelFormat format = PixelFormat::kGray;
+  std::vector<CoeffPlane> comps;  // 1 (gray) or 3 (YUV)
+  size_t compressed_bytes = 0;    // size of the input bitstream
+  size_t nonzero_coeffs = 0;      // entropy-decoded non-zero coefficients
+};
+
+// --- encoding ---------------------------------------------------------------
+
+// Encode a kGray or kYuv420 frame as baseline JPEG. quality in [1, 100].
+// restart_interval > 0 emits a DRI segment and an RSTn marker every that
+// many MCUs (resynchronization points; also what would let a parallel
+// decoder split the entropy stream).
+support::Result<std::vector<uint8_t>> encode(const Frame& frame, int quality,
+                                             int restart_interval = 0);
+
+// --- decoding ---------------------------------------------------------------
+
+// Phase 1: parse markers, entropy-decode, dequantize.
+support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
+                                                   size_t size);
+
+// Phase 2: IDCT block rows [block_row0, block_row1) of one component into
+// `out` (which must have the component's pixel dimensions). Thread-safe
+// for disjoint row ranges.
+void idct_component(const CoeffPlane& comp, PlaneView out, int block_row0,
+                    int block_row1);
+
+// Full decode (phase 1 + phase 2 over all rows).
+support::Result<FramePtr> decode(const uint8_t* data, size_t size);
+
+// --- simulated-cycle cost helpers -------------------------------------------
+
+// Entropy decode + marker parse cost.
+uint64_t entropy_decode_cycles(size_t compressed_bytes, size_t total_blocks);
+// IDCT cost for `blocks` 8x8 blocks.
+uint64_t idct_cycles(uint64_t blocks);
+// FDCT + quantization + entropy coding cost.
+uint64_t encode_cycles(uint64_t blocks, size_t compressed_bytes);
+
+}  // namespace media::jpeg

@@ -1,0 +1,72 @@
+// Shared constants and table machinery for the baseline JPEG codec:
+// markers, zig-zag order, Annex-K quantization and Huffman tables, and
+// canonical Huffman code construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace media::jpeg {
+
+// Marker bytes (second byte after 0xFF).
+enum Marker : uint8_t {
+  kSOI = 0xD8,
+  kEOI = 0xD9,
+  kSOS = 0xDA,
+  kDQT = 0xDB,
+  kDNL = 0xDC,
+  kDRI = 0xDD,
+  kSOF0 = 0xC0,
+  kDHT = 0xC4,
+  kAPP0 = 0xE0,
+  kCOM = 0xFE,
+  kRST0 = 0xD0,  // .. kRST7 = 0xD7
+};
+
+// Zig-zag scan order: zigzag index -> natural (row-major) index.
+extern const uint8_t kZigZag[64];
+
+// Annex K.1 base quantization tables (natural order).
+extern const uint8_t kStdLumaQuant[64];
+extern const uint8_t kStdChromaQuant[64];
+
+// Scale a base table by libjpeg-style quality in [1, 100] (50 = base).
+std::array<uint16_t, 64> scale_quant_table(const uint8_t base[64],
+                                           int quality);
+
+// Annex K.3 Huffman table specifications: bits[i] = number of codes of
+// length i+1 (i in 0..15), followed by the symbol values.
+struct HuffSpec {
+  const uint8_t* bits;    // 16 entries
+  const uint8_t* values;  // sum(bits) entries
+  int value_count;
+};
+
+HuffSpec std_dc_luma();
+HuffSpec std_ac_luma();
+HuffSpec std_dc_chroma();
+HuffSpec std_ac_chroma();
+
+// Encoder-side table: symbol -> (code, length).
+struct HuffEncodeTable {
+  std::array<uint16_t, 256> code{};
+  std::array<uint8_t, 256> size{};  // 0 = symbol not present
+};
+
+HuffEncodeTable build_encode_table(const HuffSpec& spec);
+
+// Decoder-side table using the canonical min/max-code algorithm of
+// ITU-T T.81 §F.2.2.3.
+struct HuffDecodeTable {
+  std::array<int32_t, 17> min_code{};   // per code length 1..16
+  std::array<int32_t, 17> max_code{};   // -1 when no codes of that length
+  std::array<int32_t, 17> val_ptr{};
+  std::vector<uint8_t> values;
+  bool valid = false;
+};
+
+HuffDecodeTable build_decode_table(const uint8_t bits[16],
+                                   const uint8_t* values, int value_count);
+
+}  // namespace media::jpeg

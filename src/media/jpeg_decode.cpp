@@ -1,0 +1,451 @@
+#include <cmath>
+#include <cstring>
+
+#include "media/jpeg.hpp"
+#include "media/jpeg_common.hpp"
+#include "support/strings.hpp"
+
+namespace media::jpeg {
+namespace {
+
+support::Status bad(const char* what) {
+  return support::invalid_argument(std::string("JPEG decode: ") + what);
+}
+
+// ---- bit reader with 0xFF00 unstuffing and RSTn awareness --------------------
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  void set_pos(size_t pos) { pos_ = pos; }
+  size_t pos() const { return pos_; }
+
+  // Returns -1 on end of data / marker encountered.
+  int next_bit() {
+    if (nbits_ == 0) {
+      if (!fill()) return -1;
+    }
+    --nbits_;
+    return (acc_ >> nbits_) & 1;
+  }
+
+  // Read `n` bits MSB-first; -1 on failure.
+  int32_t get_bits(int n) {
+    int32_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      int b = next_bit();
+      if (b < 0) return -1;
+      v = (v << 1) | b;
+    }
+    return v;
+  }
+
+  // Align to a byte boundary and consume an expected RSTn marker.
+  bool consume_restart(int expected_index) {
+    nbits_ = 0;
+    if (pos_ + 1 >= size_) return false;
+    if (data_[pos_] != 0xff) return false;
+    uint8_t m = data_[pos_ + 1];
+    if (m != static_cast<uint8_t>(kRST0 + (expected_index & 7))) return false;
+    pos_ += 2;
+    return true;
+  }
+
+ private:
+  bool fill() {
+    while (pos_ < size_) {
+      uint8_t byte = data_[pos_];
+      if (byte == 0xff) {
+        if (pos_ + 1 < size_ && data_[pos_ + 1] == 0x00) {
+          pos_ += 2;  // stuffed 0xff
+          acc_ = 0xff;
+          nbits_ = 8;
+          return true;
+        }
+        return false;  // a real marker terminates entropy data
+      }
+      ++pos_;
+      acc_ = byte;
+      nbits_ = 8;
+      return true;
+    }
+    return false;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+// Decode one Huffman symbol (T.81 §F.2.2.3). Returns -1 on failure.
+int decode_symbol(BitReader& br, const HuffDecodeTable& t) {
+  int32_t code = br.next_bit();
+  if (code < 0) return -1;
+  for (int len = 1; len <= 16; ++len) {
+    if (t.max_code[static_cast<size_t>(len)] >= 0 &&
+        code <= t.max_code[static_cast<size_t>(len)]) {
+      int idx = t.val_ptr[static_cast<size_t>(len)] +
+                (code - t.min_code[static_cast<size_t>(len)]);
+      if (idx < 0 || idx >= static_cast<int>(t.values.size())) return -1;
+      return t.values[static_cast<size_t>(idx)];
+    }
+    int b = br.next_bit();
+    if (b < 0) return -1;
+    code = (code << 1) | b;
+  }
+  return -1;
+}
+
+// Sign-extend a `nbits`-wide magnitude value (T.81 EXTEND).
+inline int extend(int v, int nbits) {
+  return v < (1 << (nbits - 1)) ? v - (1 << nbits) + 1 : v;
+}
+
+struct FrameComponent {
+  int id = 0;
+  int h = 1, v = 1;     // sampling factors
+  int quant_id = 0;
+  int dc_table = 0, ac_table = 0;
+  int dc_pred = 0;
+};
+
+// ---- inverse DCT ---------------------------------------------------------------
+
+struct IdctTables {
+  float c[8][8];  // scale(u) * cos[(2x+1) u pi / 16], indexed [x][u]
+  IdctTables() {
+    for (int x = 0; x < 8; ++x) {
+      for (int u = 0; u < 8; ++u) {
+        float s = u == 0 ? std::sqrt(0.125f) : 0.5f;
+        c[x][u] =
+            s * std::cos((2 * x + 1) * u * 3.14159265358979323846f / 16);
+      }
+    }
+  }
+};
+
+const IdctTables& idct_tables() {
+  static const IdctTables t;
+  return t;
+}
+
+void idct_block(const int16_t in[64], float out[64]) {
+  const IdctTables& t = idct_tables();
+  float tmp[64];
+  // rows: for each row v, inverse over u
+  for (int v = 0; v < 8; ++v) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0;
+      for (int u = 0; u < 8; ++u)
+        acc += static_cast<float>(in[v * 8 + u]) * t.c[x][u];
+      tmp[v * 8 + x] = acc;
+    }
+  }
+  // columns
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0;
+      for (int v = 0; v < 8; ++v) acc += tmp[v * 8 + x] * t.c[y][v];
+      out[y * 8 + x] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
+                                                   size_t size) {
+  if (size < 4 || data[0] != 0xff || data[1] != kSOI)
+    return bad("missing SOI marker");
+
+  std::array<std::array<uint16_t, 64>, 4> quant_tables{};
+  std::array<bool, 4> quant_present{};
+  std::array<HuffDecodeTable, 4> dc_tables;
+  std::array<HuffDecodeTable, 4> ac_tables;
+  std::vector<FrameComponent> comps;
+  int width = 0, height = 0;
+  int restart_interval = 0;
+  size_t pos = 2;
+  size_t scan_start = 0;
+
+  // --- marker segment parsing ---
+  while (pos + 1 < size) {
+    if (data[pos] != 0xff) return bad("expected marker");
+    uint8_t marker = data[pos + 1];
+    pos += 2;
+    if (marker == kEOI) return bad("EOI before SOS");
+    if (marker >= kRST0 && marker <= kRST0 + 7) continue;
+    if (pos + 1 >= size) return bad("truncated segment");
+    size_t seg_len = static_cast<size_t>(data[pos]) << 8 | data[pos + 1];
+    if (seg_len < 2 || pos + seg_len > size) return bad("bad segment length");
+    const uint8_t* seg = data + pos + 2;
+    size_t len = seg_len - 2;
+
+    switch (marker) {
+      case kDQT: {
+        size_t off = 0;
+        while (off < len) {
+          int precision = seg[off] >> 4;
+          int id = seg[off] & 0x0f;
+          if (id > 3) return bad("bad DQT id");
+          ++off;
+          size_t entry = precision ? 2 : 1;
+          if (off + 64 * entry > len) return bad("truncated DQT");
+          for (int i = 0; i < 64; ++i) {
+            uint16_t q = precision
+                             ? static_cast<uint16_t>(seg[off] << 8 | seg[off + 1])
+                             : seg[off];
+            quant_tables[static_cast<size_t>(id)][kZigZag[i]] = q;
+            off += entry;
+          }
+          quant_present[static_cast<size_t>(id)] = true;
+        }
+        break;
+      }
+      case kDHT: {
+        size_t off = 0;
+        while (off + 17 <= len) {
+          int cls = seg[off] >> 4;
+          int id = seg[off] & 0x0f;
+          if (cls > 1 || id > 3) return bad("bad DHT header");
+          const uint8_t* bits = seg + off + 1;
+          int count = 0;
+          for (int i = 0; i < 16; ++i) count += bits[i];
+          if (off + 17 + static_cast<size_t>(count) > len)
+            return bad("truncated DHT");
+          HuffDecodeTable t =
+              build_decode_table(bits, seg + off + 17, count);
+          if (!t.valid) return bad("inconsistent DHT");
+          (cls == 0 ? dc_tables : ac_tables)[static_cast<size_t>(id)] =
+              std::move(t);
+          off += 17 + static_cast<size_t>(count);
+        }
+        break;
+      }
+      case kSOF0: {
+        if (len < 6) return bad("truncated SOF0");
+        if (seg[0] != 8) return bad("only 8-bit precision supported");
+        height = seg[1] << 8 | seg[2];
+        width = seg[3] << 8 | seg[4];
+        int ncomp = seg[5];
+        if (width <= 0 || height <= 0) return bad("bad dimensions");
+        if (ncomp != 1 && ncomp != 3)
+          return bad("only 1- or 3-component images supported");
+        if (len < 6 + 3 * static_cast<size_t>(ncomp))
+          return bad("truncated SOF0 components");
+        comps.resize(static_cast<size_t>(ncomp));
+        for (int i = 0; i < ncomp; ++i) {
+          FrameComponent& c = comps[static_cast<size_t>(i)];
+          c.id = seg[6 + 3 * i];
+          c.h = seg[7 + 3 * i] >> 4;
+          c.v = seg[7 + 3 * i] & 0x0f;
+          c.quant_id = seg[8 + 3 * i];
+          if (c.h < 1 || c.h > 2 || c.v < 1 || c.v > 2 || c.quant_id > 3)
+            return bad("unsupported sampling / quant id");
+        }
+        break;
+      }
+      case kSOF0 + 1:
+      case kSOF0 + 2:
+        return bad("only baseline (SOF0) is supported");
+      case kDRI:
+        if (len < 2) return bad("truncated DRI");
+        restart_interval = seg[0] << 8 | seg[1];
+        break;
+      case kSOS: {
+        if (comps.empty()) return bad("SOS before SOF0");
+        if (len < 1) return bad("truncated SOS");
+        int ns = seg[0];
+        if (ns != static_cast<int>(comps.size()))
+          return bad("progressive/multi-scan images not supported");
+        if (len < 1 + 2 * static_cast<size_t>(ns) + 3)
+          return bad("truncated SOS header");
+        for (int i = 0; i < ns; ++i) {
+          int cid = seg[1 + 2 * i];
+          int tables = seg[2 + 2 * i];
+          bool found = false;
+          for (FrameComponent& c : comps) {
+            if (c.id == cid) {
+              c.dc_table = tables >> 4;
+              c.ac_table = tables & 0x0f;
+              found = true;
+            }
+          }
+          if (!found) return bad("SOS references unknown component");
+        }
+        scan_start = pos + seg_len;
+        break;
+      }
+      default:
+        break;  // APPn / COM / others: skip
+    }
+    pos += seg_len;
+    if (scan_start) break;
+  }
+  if (!scan_start) return bad("no SOS marker found");
+
+  // Validate sampling: all 1x1, or 2x2 luma with 1x1 chroma.
+  bool yuv420 = false;
+  if (comps.size() == 3) {
+    if (comps[0].h == 2 && comps[0].v == 2 && comps[1].h == 1 &&
+        comps[1].v == 1 && comps[2].h == 1 && comps[2].v == 1) {
+      yuv420 = true;
+    } else if (!(comps[0].h == 1 && comps[0].v == 1 && comps[1].h == 1 &&
+                 comps[1].v == 1 && comps[2].h == 1 && comps[2].v == 1)) {
+      return bad("only 4:2:0 and 4:4:4 sampling supported");
+    }
+  }
+
+  CoeffImage img;
+  img.width = width;
+  img.height = height;
+  img.format = comps.size() == 1
+                   ? PixelFormat::kGray
+                   : (yuv420 ? PixelFormat::kYuv420 : PixelFormat::kYuv444);
+  img.compressed_bytes = size;
+
+  const int h_max = yuv420 ? 2 : 1;
+  const int v_max = yuv420 ? 2 : 1;
+  const int mcus_x = (width + 8 * h_max - 1) / (8 * h_max);
+  const int mcus_y = (height + 8 * v_max - 1) / (8 * v_max);
+
+  img.comps.resize(comps.size());
+  for (size_t i = 0; i < comps.size(); ++i) {
+    const FrameComponent& c = comps[i];
+    if (!quant_present[static_cast<size_t>(c.quant_id)])
+      return bad("missing quantization table");
+    CoeffPlane& cp = img.comps[i];
+    cp.blocks_w = mcus_x * c.h;
+    cp.blocks_h = mcus_y * c.v;
+    int pw = 0, ph = 0;
+    plane_dims(img.format, width, height, static_cast<int>(i), &pw, &ph);
+    cp.width = pw;
+    cp.height = ph;
+    cp.blocks.assign(
+        static_cast<size_t>(cp.blocks_w) * static_cast<size_t>(cp.blocks_h),
+        {});
+  }
+
+  // --- entropy decode ---
+  BitReader br(data, size);
+  br.set_pos(scan_start);
+  int mcu_count = 0;
+  int restart_index = 0;
+  for (int my = 0; my < mcus_y; ++my) {
+    for (int mx = 0; mx < mcus_x; ++mx) {
+      if (restart_interval && mcu_count == restart_interval) {
+        if (!br.consume_restart(restart_index)) return bad("missing RSTn");
+        restart_index = (restart_index + 1) & 7;
+        mcu_count = 0;
+        for (FrameComponent& c : comps) c.dc_pred = 0;
+      }
+      for (size_t ci = 0; ci < comps.size(); ++ci) {
+        FrameComponent& c = comps[ci];
+        const HuffDecodeTable& dct = dc_tables[static_cast<size_t>(c.dc_table)];
+        const HuffDecodeTable& act = ac_tables[static_cast<size_t>(c.ac_table)];
+        if (!dct.valid || !act.valid) return bad("missing Huffman table");
+        const auto& q = quant_tables[static_cast<size_t>(c.quant_id)];
+        CoeffPlane& cp = img.comps[ci];
+        for (int sy = 0; sy < c.v; ++sy) {
+          for (int sx = 0; sx < c.h; ++sx) {
+            int bx = mx * c.h + sx;
+            int by = my * c.v + sy;
+            auto& block =
+                cp.blocks[static_cast<size_t>(by) * cp.blocks_w + bx];
+
+            // DC.
+            int s = decode_symbol(br, dct);
+            if (s < 0 || s > 11) return bad("bad DC symbol");
+            int diff = 0;
+            if (s > 0) {
+              int32_t bits = br.get_bits(s);
+              if (bits < 0) return bad("truncated DC bits");
+              diff = extend(bits, s);
+            }
+            c.dc_pred += diff;
+            block[0] = static_cast<int16_t>(c.dc_pred * q[0]);
+            if (c.dc_pred != 0) ++img.nonzero_coeffs;
+
+            // AC.
+            int k = 1;
+            while (k < 64) {
+              int rs = decode_symbol(br, act);
+              if (rs < 0) return bad("bad AC symbol");
+              int run = rs >> 4;
+              int sbits = rs & 0x0f;
+              if (sbits == 0) {
+                if (run == 15) {
+                  k += 16;  // ZRL
+                  continue;
+                }
+                break;  // EOB
+              }
+              k += run;
+              if (k > 63) return bad("AC run overflows block");
+              int32_t bits = br.get_bits(sbits);
+              if (bits < 0) return bad("truncated AC bits");
+              int v = extend(bits, sbits);
+              block[kZigZag[k]] =
+                  static_cast<int16_t>(v * q[kZigZag[k]]);
+              ++img.nonzero_coeffs;
+              ++k;
+            }
+          }
+        }
+      }
+      ++mcu_count;
+    }
+  }
+  return img;
+}
+
+void idct_component(const CoeffPlane& comp, PlaneView out, int block_row0,
+                    int block_row1) {
+  SUP_CHECK(out.width == comp.width && out.height == comp.height);
+  if (block_row0 < 0) block_row0 = 0;
+  if (block_row1 > comp.blocks_h) block_row1 = comp.blocks_h;
+  float pixels[64];
+  for (int by = block_row0; by < block_row1; ++by) {
+    for (int bx = 0; bx < comp.blocks_w; ++bx) {
+      idct_block(
+          comp.blocks[static_cast<size_t>(by) * comp.blocks_w + bx].data(),
+          pixels);
+      const int y_end = std::min(8, comp.height - by * 8);
+      const int x_end = std::min(8, comp.width - bx * 8);
+      for (int y = 0; y < y_end; ++y) {
+        uint8_t* row = out.row(by * 8 + y) + bx * 8;
+        for (int x = 0; x < x_end; ++x) {
+          int v = static_cast<int>(std::lround(pixels[y * 8 + x])) + 128;
+          row[x] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+        }
+      }
+    }
+  }
+}
+
+support::Result<FramePtr> decode(const uint8_t* data, size_t size) {
+  SUP_ASSIGN_OR_RETURN(CoeffImage img, decode_to_coefficients(data, size));
+  FramePtr frame = make_frame(img.format, img.width, img.height);
+  for (int c = 0; c < static_cast<int>(img.comps.size()); ++c) {
+    const CoeffPlane& cp = img.comps[static_cast<size_t>(c)];
+    idct_component(cp, frame->plane(c), 0, cp.blocks_h);
+  }
+  return frame;
+}
+
+uint64_t entropy_decode_cycles(size_t compressed_bytes, size_t total_blocks) {
+  // Bit-serial Huffman decoding: ~12 cycles per compressed byte plus fixed
+  // per-block bookkeeping.
+  return static_cast<uint64_t>(compressed_bytes) * 12 +
+         static_cast<uint64_t>(total_blocks) * 24;
+}
+
+uint64_t idct_cycles(uint64_t blocks) {
+  // Separable 8-point IDCT: ~480 multiply-accumulates + clamp per block.
+  return blocks * 520;
+}
+
+}  // namespace media::jpeg

@@ -1,0 +1,174 @@
+#include "media/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace media {
+namespace {
+
+inline int clampi(int v, int lo, int hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+// sigma = 1 Gaussian taps in 8.8 fixed point, normalized to sum 256.
+const int16_t kTaps3[3] = {70, 116, 70};
+const int16_t kTaps5[5] = {16, 62, 100, 62, 16};
+
+// Average of one factor x factor source box with rounding.
+inline uint8_t box_average(ConstPlaneView src, int sx, int sy, int factor) {
+  unsigned sum = 0;
+  for (int dy = 0; dy < factor; ++dy) {
+    const uint8_t* row = src.row(sy + dy) + sx;
+    for (int dx = 0; dx < factor; ++dx) sum += row[dx];
+  }
+  unsigned n = static_cast<unsigned>(factor) * static_cast<unsigned>(factor);
+  return static_cast<uint8_t>((sum + n / 2) / n);
+}
+
+inline uint8_t mix(uint8_t fg, uint8_t bg, int alpha256) {
+  int v = (fg * alpha256 + bg * (256 - alpha256) + 128) >> 8;
+  return static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+// ---- copy ----------------------------------------------------------------
+
+void copy_plane(ConstPlaneView src, PlaneView dst, int row0, int row1) {
+  SUP_CHECK(src.width == dst.width && src.height == dst.height);
+  row0 = clampi(row0, 0, dst.height);
+  row1 = clampi(row1, 0, dst.height);
+  for (int y = row0; y < row1; ++y)
+    std::memcpy(dst.row(y), src.row(y), static_cast<size_t>(src.width));
+}
+
+uint64_t copy_cycles(int width, int rows) {
+  // One load + one store per pixel; ~0.5 cycle each on a wide VLIW.
+  return static_cast<uint64_t>(width) * static_cast<uint64_t>(rows);
+}
+
+uint64_t io_cycles(uint64_t bytes) { return bytes / 4; }
+
+// ---- downscale -------------------------------------------------------------
+
+void downscale_box(ConstPlaneView src, PlaneView dst, int factor, int row0,
+                   int row1) {
+  SUP_CHECK(factor >= 1);
+  SUP_CHECK(src.width >= dst.width * factor);
+  SUP_CHECK(src.height >= dst.height * factor);
+  row0 = clampi(row0, 0, dst.height);
+  row1 = clampi(row1, 0, dst.height);
+  for (int y = row0; y < row1; ++y) {
+    uint8_t* out = dst.row(y);
+    for (int x = 0; x < dst.width; ++x)
+      out[x] = box_average(src, x * factor, y * factor, factor);
+  }
+}
+
+uint64_t downscale_cycles(int out_width, int out_rows, int factor) {
+  // factor^2 adds + divide per output pixel.
+  uint64_t per_pixel = static_cast<uint64_t>(factor) * factor + 3;
+  return static_cast<uint64_t>(out_width) * out_rows * per_pixel;
+}
+
+// ---- blend -----------------------------------------------------------------
+
+void blend(ConstPlaneView fg, PlaneView dst, int dst_x, int dst_y,
+           int alpha256, int row0, int row1) {
+  SUP_CHECK(alpha256 >= 0 && alpha256 <= 256);
+  int y_begin = std::max({row0, dst_y, 0});
+  int y_end = std::min({row1, dst_y + fg.height, dst.height});
+  int x_begin = std::max(dst_x, 0);
+  int x_end = std::min(dst_x + fg.width, dst.width);
+  for (int y = y_begin; y < y_end; ++y) {
+    const uint8_t* src_row = fg.row(y - dst_y);
+    uint8_t* dst_row = dst.row(y);
+    for (int x = x_begin; x < x_end; ++x)
+      dst_row[x] = mix(src_row[x - dst_x], dst_row[x], alpha256);
+  }
+}
+
+uint64_t blend_cycles(int fg_width, int fg_rows) {
+  // Two multiplies, add, shift per pixel.
+  return static_cast<uint64_t>(fg_width) * fg_rows * 4;
+}
+
+// ---- fused downscale + blend -------------------------------------------------
+
+void downscale_blend(ConstPlaneView src, PlaneView dst, int factor, int dst_x,
+                     int dst_y, int alpha256, int row0, int row1) {
+  const int out_w = src.width / factor;
+  const int out_h = src.height / factor;
+  int y_begin = std::max({row0, dst_y, 0});
+  int y_end = std::min({row1, dst_y + out_h, dst.height});
+  int x_begin = std::max(dst_x, 0);
+  int x_end = std::min(dst_x + out_w, dst.width);
+  for (int y = y_begin; y < y_end; ++y) {
+    uint8_t* dst_row = dst.row(y);
+    const int sy = (y - dst_y) * factor;
+    for (int x = x_begin; x < x_end; ++x) {
+      uint8_t v = box_average(src, (x - dst_x) * factor, sy, factor);
+      dst_row[x] = mix(v, dst_row[x], alpha256);
+    }
+  }
+}
+
+uint64_t downscale_blend_cycles(int out_width, int out_rows, int factor) {
+  // Same arithmetic as the two kernels minus the intermediate store/load,
+  // which the cache model accounts for separately.
+  return downscale_cycles(out_width, out_rows, factor) +
+         blend_cycles(out_width, out_rows);
+}
+
+// ---- Gaussian blur ------------------------------------------------------------
+
+const int16_t* gaussian_taps(int kernel_size) {
+  SUP_CHECK_MSG(kernel_size == 3 || kernel_size == 5,
+                "only 3x3 and 5x5 Gaussian kernels are provided");
+  return kernel_size == 3 ? kTaps3 : kTaps5;
+}
+
+void blur_h(ConstPlaneView src, PlaneView dst, int kernel_size, int row0,
+            int row1) {
+  SUP_CHECK(src.width == dst.width && src.height == dst.height);
+  const int16_t* taps = gaussian_taps(kernel_size);
+  const int r = kernel_size / 2;
+  row0 = clampi(row0, 0, dst.height);
+  row1 = clampi(row1, 0, dst.height);
+  for (int y = row0; y < row1; ++y) {
+    const uint8_t* in = src.row(y);
+    uint8_t* out = dst.row(y);
+    for (int x = 0; x < dst.width; ++x) {
+      int acc = 128;
+      for (int k = -r; k <= r; ++k)
+        acc += taps[k + r] * in[clampi(x + k, 0, src.width - 1)];
+      out[x] = static_cast<uint8_t>(acc >> 8);
+    }
+  }
+}
+
+void blur_v(ConstPlaneView src, PlaneView dst, int kernel_size, int row0,
+            int row1) {
+  SUP_CHECK(src.width == dst.width && src.height == dst.height);
+  const int16_t* taps = gaussian_taps(kernel_size);
+  const int r = kernel_size / 2;
+  row0 = clampi(row0, 0, dst.height);
+  row1 = clampi(row1, 0, dst.height);
+  for (int y = row0; y < row1; ++y) {
+    uint8_t* out = dst.row(y);
+    for (int x = 0; x < dst.width; ++x) {
+      int acc = 128;
+      for (int k = -r; k <= r; ++k)
+        acc += taps[k + r] * src.row(clampi(y + k, 0, src.height - 1))[x];
+      out[x] = static_cast<uint8_t>(acc >> 8);
+    }
+  }
+}
+
+uint64_t blur_cycles(int width, int rows, int kernel_size) {
+  // kernel_size multiply-accumulates + clamp/shift per pixel.
+  uint64_t per_pixel = static_cast<uint64_t>(kernel_size) * 2 + 2;
+  return static_cast<uint64_t>(width) * rows * per_pixel;
+}
+
+}  // namespace media

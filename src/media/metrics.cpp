@@ -1,0 +1,67 @@
+#include "media/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace media {
+
+double mse(ConstPlaneView a, ConstPlaneView b) {
+  SUP_CHECK(a.width == b.width && a.height == b.height);
+  double sum = 0;
+  for (int y = 0; y < a.height; ++y) {
+    const uint8_t* ra = a.row(y);
+    const uint8_t* rb = b.row(y);
+    for (int x = 0; x < a.width; ++x) {
+      double d = static_cast<double>(ra[x]) - rb[x];
+      sum += d * d;
+    }
+  }
+  return sum / (static_cast<double>(a.width) * a.height);
+}
+
+double psnr(const Frame& a, const Frame& b) {
+  SUP_CHECK(a.format() == b.format() && a.width() == b.width() &&
+            a.height() == b.height());
+  double total_se = 0;
+  size_t total_px = 0;
+  for (int p = 0; p < a.planes(); ++p) {
+    ConstPlaneView pa = a.plane(p);
+    total_se += mse(pa, b.plane(p)) * static_cast<double>(pa.bytes());
+    total_px += pa.bytes();
+  }
+  double m = total_se / static_cast<double>(total_px);
+  if (m <= 0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+uint64_t frame_hash(const Frame& f, uint64_t seed) {
+  uint64_t h = seed;
+  const uint8_t* data = f.raw();
+  for (size_t i = 0; i < f.bytes(); ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int max_abs_diff(const Frame& a, const Frame& b) {
+  SUP_CHECK(a.format() == b.format() && a.width() == b.width() &&
+            a.height() == b.height());
+  int maxd = 0;
+  for (int p = 0; p < a.planes(); ++p) {
+    ConstPlaneView pa = a.plane(p);
+    ConstPlaneView pb = b.plane(p);
+    for (int y = 0; y < pa.height; ++y) {
+      const uint8_t* ra = pa.row(y);
+      const uint8_t* rb = pb.row(y);
+      for (int x = 0; x < pa.width; ++x) {
+        int d = std::abs(static_cast<int>(ra[x]) - rb[x]);
+        if (d > maxd) maxd = d;
+      }
+    }
+  }
+  return maxd;
+}
+
+}  // namespace media

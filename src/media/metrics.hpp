@@ -1,0 +1,26 @@
+// Image quality metrics used in tests to validate the JPEG codec and the
+// equivalence of XSPCL and hand-written application outputs.
+#pragma once
+
+#include "media/frame.hpp"
+
+namespace media {
+
+// Mean squared error between two planes of identical size.
+double mse(ConstPlaneView a, ConstPlaneView b);
+
+// Peak signal-to-noise ratio over all planes (dB). Returns +inf for
+// identical frames. Frames must have identical format and size.
+double psnr(const Frame& a, const Frame& b);
+
+// Largest absolute pixel difference over all planes.
+int max_abs_diff(const Frame& a, const Frame& b);
+
+// FNV-1a offset basis, the seed for frame_hash chains.
+inline constexpr uint64_t kFnvBasis = 14695981039346656037ULL;
+
+// FNV-1a hash of the frame's pixels chained onto `seed`. Used to compare
+// whole output videos across executions cheaply.
+uint64_t frame_hash(const Frame& f, uint64_t seed = kFnvBasis);
+
+}  // namespace media

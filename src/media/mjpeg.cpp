@@ -1,0 +1,149 @@
+#include "media/mjpeg.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "media/jpeg.hpp"
+
+namespace media {
+namespace {
+
+void put_u32(std::ofstream& f, uint32_t v) {
+  uint8_t b[4] = {static_cast<uint8_t>(v >> 24), static_cast<uint8_t>(v >> 16),
+                  static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v)};
+  f.write(reinterpret_cast<const char*>(b), 4);
+}
+
+bool get_u32(std::ifstream& f, uint32_t* v) {
+  uint8_t b[4];
+  if (!f.read(reinterpret_cast<char*>(b), 4)) return false;
+  *v = static_cast<uint32_t>(b[0]) << 24 | static_cast<uint32_t>(b[1]) << 16 |
+       static_cast<uint32_t>(b[2]) << 8 | b[3];
+  return true;
+}
+
+}  // namespace
+
+// --- RawVideo -------------------------------------------------------------------
+
+void RawVideo::append(FramePtr frame) {
+  SUP_CHECK(frame && frame->format() == fmt_ && frame->width() == width_ &&
+            frame->height() == height_);
+  frames_.push_back(std::move(frame));
+}
+
+const FramePtr& RawVideo::frame(int i) const {
+  SUP_CHECK(i >= 0 && i < frame_count());
+  return frames_[static_cast<size_t>(i)];
+}
+
+support::Status RawVideo::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return support::io_error("cannot open for writing: " + path);
+  f.write("RAWV", 4);
+  put_u32(f, static_cast<uint32_t>(fmt_));
+  put_u32(f, static_cast<uint32_t>(width_));
+  put_u32(f, static_cast<uint32_t>(height_));
+  put_u32(f, static_cast<uint32_t>(frames_.size()));
+  for (const FramePtr& fr : frames_)
+    f.write(reinterpret_cast<const char*>(fr->raw()),
+            static_cast<std::streamsize>(fr->bytes()));
+  if (!f) return support::io_error("write failed: " + path);
+  return support::Status::ok();
+}
+
+support::Result<RawVideo> RawVideo::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return support::io_error("cannot open: " + path);
+  char magic[4];
+  if (!f.read(magic, 4) || std::memcmp(magic, "RAWV", 4) != 0)
+    return support::invalid_argument("not a RAWV file: " + path);
+  uint32_t fmt = 0, w = 0, h = 0, n = 0;
+  if (!get_u32(f, &fmt) || !get_u32(f, &w) || !get_u32(f, &h) ||
+      !get_u32(f, &n))
+    return support::invalid_argument("truncated RAWV header");
+  if (fmt > static_cast<uint32_t>(PixelFormat::kYuv444) || w == 0 || h == 0 ||
+      w > 1u << 16 || h > 1u << 16)
+    return support::invalid_argument("bad RAWV header");
+  RawVideo video(static_cast<PixelFormat>(fmt), static_cast<int>(w),
+                 static_cast<int>(h));
+  for (uint32_t i = 0; i < n; ++i) {
+    FramePtr fr = make_frame(video.fmt_, video.width_, video.height_);
+    if (!f.read(reinterpret_cast<char*>(fr->raw()),
+                static_cast<std::streamsize>(fr->bytes())))
+      return support::invalid_argument("truncated RAWV payload");
+    video.frames_.push_back(std::move(fr));
+  }
+  return video;
+}
+
+RawVideo RawVideo::synthesize(const SynthSpec& spec, int n) {
+  RawVideo video(spec.format, spec.width, spec.height);
+  for (int t = 0; t < n; ++t) video.append(make_synth_frame(spec, t));
+  return video;
+}
+
+// --- MjpegClip -------------------------------------------------------------------
+
+const std::vector<uint8_t>& MjpegClip::frame(int i) const {
+  SUP_CHECK(i >= 0 && i < frame_count());
+  return frames_[static_cast<size_t>(i)];
+}
+
+void MjpegClip::append(std::vector<uint8_t> jpeg_bytes) {
+  frames_.push_back(std::move(jpeg_bytes));
+}
+
+size_t MjpegClip::total_bytes() const {
+  size_t total = 0;
+  for (const auto& f : frames_) total += f.size();
+  return total;
+}
+
+support::Status MjpegClip::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return support::io_error("cannot open for writing: " + path);
+  f.write("MJPG", 4);
+  put_u32(f, static_cast<uint32_t>(frames_.size()));
+  for (const auto& fr : frames_) {
+    put_u32(f, static_cast<uint32_t>(fr.size()));
+    f.write(reinterpret_cast<const char*>(fr.data()),
+            static_cast<std::streamsize>(fr.size()));
+  }
+  if (!f) return support::io_error("write failed: " + path);
+  return support::Status::ok();
+}
+
+support::Result<MjpegClip> MjpegClip::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return support::io_error("cannot open: " + path);
+  char magic[4];
+  if (!f.read(magic, 4) || std::memcmp(magic, "MJPG", 4) != 0)
+    return support::invalid_argument("not an MJPG file: " + path);
+  uint32_t n = 0;
+  if (!get_u32(f, &n)) return support::invalid_argument("truncated header");
+  MjpegClip clip;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t len = 0;
+    if (!get_u32(f, &len) || len > (64u << 20))
+      return support::invalid_argument("bad frame length");
+    std::vector<uint8_t> bytes(len);
+    if (!f.read(reinterpret_cast<char*>(bytes.data()), len))
+      return support::invalid_argument("truncated MJPG payload");
+    clip.frames_.push_back(std::move(bytes));
+  }
+  return clip;
+}
+
+support::Result<MjpegClip> MjpegClip::encode(const RawVideo& video,
+                                             int quality) {
+  MjpegClip clip;
+  for (int i = 0; i < video.frame_count(); ++i) {
+    SUP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                         jpeg::encode(*video.frame(i), quality));
+    clip.frames_.push_back(std::move(bytes));
+  }
+  return clip;
+}
+
+}  // namespace media

@@ -1,0 +1,97 @@
+#include "media/synth.hpp"
+
+#include "support/rng.hpp"
+
+namespace media {
+namespace {
+
+// Per-clip constants derived from the seed once.
+struct ClipParams {
+  int grad_dx, grad_dy;    // gradient drift per frame
+  int rect_w, rect_h;      // bouncing rectangle size
+  int rect_speed_x, rect_speed_y;
+  int check_size;          // checkerboard cell size
+  uint8_t base_u, base_v;  // chroma bias
+};
+
+ClipParams derive(const SynthSpec& spec) {
+  support::SplitMix64 rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+  ClipParams p;
+  p.grad_dx = 1 + static_cast<int>(rng.next_below(3));
+  p.grad_dy = 1 + static_cast<int>(rng.next_below(3));
+  p.rect_w = spec.width / 4 + static_cast<int>(rng.next_below(
+                                  static_cast<uint64_t>(spec.width / 8 + 1)));
+  p.rect_h = spec.height / 4 + static_cast<int>(rng.next_below(
+                                   static_cast<uint64_t>(spec.height / 8 + 1)));
+  p.rect_speed_x = 2 + static_cast<int>(rng.next_below(4));
+  p.rect_speed_y = 1 + static_cast<int>(rng.next_below(4));
+  p.check_size = 8 + static_cast<int>(rng.next_below(3)) * 4;
+  p.base_u = static_cast<uint8_t>(96 + rng.next_below(64));
+  p.base_v = static_cast<uint8_t>(96 + rng.next_below(64));
+  return p;
+}
+
+// Triangle-wave bounce of a point moving at `speed` inside [0, range).
+int bounce(int t, int speed, int range) {
+  if (range <= 1) return 0;
+  int period = 2 * (range - 1);
+  int x = (t * speed) % period;
+  return x < range ? x : period - x;
+}
+
+}  // namespace
+
+void render_synth_frame(const SynthSpec& spec, int t, Frame& out) {
+  SUP_CHECK(out.format() == spec.format && out.width() == spec.width &&
+            out.height() == spec.height);
+  const ClipParams p = derive(spec);
+
+  // Luma: moving gradient + checkerboard + bouncing bright rectangle.
+  PlaneView y = out.plane(0);
+  const int gx = t * p.grad_dx;
+  const int gy = t * p.grad_dy;
+  const int rx = bounce(t, p.rect_speed_x,
+                        spec.width - p.rect_w > 0 ? spec.width - p.rect_w : 1);
+  const int ry =
+      bounce(t, p.rect_speed_y,
+             spec.height - p.rect_h > 0 ? spec.height - p.rect_h : 1);
+  const int phase = (t / 4) % 2;
+  for (int row = 0; row < y.height; ++row) {
+    uint8_t* dst = y.row(row);
+    for (int col = 0; col < y.width; ++col) {
+      int v = ((col + gx) + (row + gy)) & 0xff;
+      int check =
+          (((col / p.check_size) + (row / p.check_size) + phase) & 1) * 32;
+      int pix = (v >> 1) + check + 48;
+      if (col >= rx && col < rx + p.rect_w && row >= ry &&
+          row < ry + p.rect_h) {
+        pix += 64;
+      }
+      dst[col] = static_cast<uint8_t>(pix > 235 ? 235 : pix);
+    }
+  }
+
+  if (out.planes() == 1) return;
+
+  // Chroma: slow horizontal/vertical ramps around the clip's bias.
+  for (int c = 1; c <= 2; ++c) {
+    PlaneView pl = out.plane(c);
+    uint8_t base = c == 1 ? p.base_u : p.base_v;
+    for (int row = 0; row < pl.height; ++row) {
+      uint8_t* dst = pl.row(row);
+      for (int col = 0; col < pl.width; ++col) {
+        int ramp = c == 1 ? ((col + t) % 64) - 32 : ((row + t) % 64) - 32;
+        int pix = base + ramp / 2;
+        dst[col] = static_cast<uint8_t>(pix < 16 ? 16 : (pix > 240 ? 240 : pix));
+      }
+    }
+  }
+}
+
+FramePtr make_synth_frame(const SynthSpec& spec, int t) {
+  FramePtr f = make_frame(spec.format, spec.width, spec.height);
+  render_synth_frame(spec, t, *f);
+  return f;
+}
+
+}  // namespace media

@@ -1,0 +1,33 @@
+// Deterministic synthetic video generation.
+//
+// The paper's inputs are proprietary uncompressed / MJPEG clips; we
+// substitute moving-pattern video that exercises the same code paths and
+// is fully reproducible from a seed (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+
+#include "media/frame.hpp"
+
+namespace media {
+
+// Parameters for the synthetic clip. A clip is identified by (seed, size);
+// frame `t` is a pure function of those, so any frame can be generated
+// independently (components generating slices in parallel stay coherent).
+struct SynthSpec {
+  uint64_t seed = 1;
+  int width = 320;
+  int height = 240;
+  PixelFormat format = PixelFormat::kYuv420;
+};
+
+// Render frame index `t` of the clip into `out` (must match the spec's
+// format and size). The content mixes a moving diagonal gradient, a
+// bouncing rectangle, and a phase-shifting checkerboard so that JPEG
+// encoding sees realistic mixed-frequency content.
+void render_synth_frame(const SynthSpec& spec, int t, Frame& out);
+
+// Convenience: allocate and render.
+FramePtr make_synth_frame(const SynthSpec& spec, int t);
+
+}  // namespace media

@@ -1,0 +1,33 @@
+#include "media/y4m.hpp"
+
+#include <fstream>
+
+#include "support/strings.hpp"
+
+namespace media {
+
+support::Status save_y4m(const RawVideo& video, const std::string& path,
+                         int fps_num, int fps_den) {
+  if (video.format() == PixelFormat::kYuv444)
+    return support::unimplemented("y4m export supports 4:2:0 and mono only");
+  if (fps_num < 1 || fps_den < 1)
+    return support::invalid_argument("bad y4m frame rate");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return support::io_error("cannot open for writing: " + path);
+
+  const char* colour =
+      video.format() == PixelFormat::kGray ? "Cmono" : "C420jpeg";
+  f << support::format("YUV4MPEG2 W%d H%d F%d:%d Ip A1:1 %s\n",
+                       video.width(), video.height(), fps_num, fps_den,
+                       colour);
+  for (int i = 0; i < video.frame_count(); ++i) {
+    f << "FRAME\n";
+    const FramePtr& frame = video.frame(i);
+    f.write(reinterpret_cast<const char*>(frame->raw()),
+            static_cast<std::streamsize>(frame->bytes()));
+  }
+  if (!f) return support::io_error("write failed: " + path);
+  return support::Status::ok();
+}
+
+}  // namespace media

@@ -1,0 +1,19 @@
+// YUV4MPEG2 (.y4m) export — the interchange format mpv/ffmpeg play
+// directly, so example outputs can be inspected with standard tools.
+// Only 4:2:0 and mono are representable in baseline y4m.
+#pragma once
+
+#include <string>
+
+#include "media/mjpeg.hpp"
+#include "support/status.hpp"
+
+namespace media {
+
+// Write the clip as YUV4MPEG2 at the given frame rate (fps_num/fps_den).
+// kYuv420 maps to C420jpeg (centered chroma), kGray to Cmono;
+// kYuv444 is rejected.
+support::Status save_y4m(const RawVideo& video, const std::string& path,
+                         int fps_num = 25, int fps_den = 1);
+
+}  // namespace media

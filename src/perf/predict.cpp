@@ -1,0 +1,153 @@
+#include "perf/predict.hpp"
+
+#include <algorithm>
+
+#include "sp/transform.hpp"
+#include "sp/validate.hpp"
+
+namespace perf {
+namespace {
+
+struct WorkSpan {
+  double work = 0;
+  double span = 0;
+  double max_leaf = 0;
+};
+
+WorkSpan evaluate(const sp::Node& n, const LeafCost& cost, int slice_count,
+                  bool include_disabled = false) {
+  switch (n.kind()) {
+    case sp::NodeKind::kLeaf: {
+      double c = cost(n.leaf, slice_count);
+      return {c, c, c};
+    }
+    case sp::NodeKind::kGroup:
+    case sp::NodeKind::kSeq: {
+      WorkSpan total;
+      for (const sp::NodePtr& c : n.children) {
+        WorkSpan child = evaluate(*c, cost, slice_count, include_disabled);
+        total.work += child.work;
+        total.span += child.span;
+        total.max_leaf = std::max(total.max_leaf, child.max_leaf);
+      }
+      return total;
+    }
+    case sp::NodeKind::kPar: {
+      if (n.shape == sp::ParShape::kTask) {
+        WorkSpan total;
+        for (const sp::NodePtr& c : n.children) {
+          WorkSpan child = evaluate(*c, cost, slice_count, include_disabled);
+          total.work += child.work;
+          total.span = std::max(total.span, child.span);
+          total.max_leaf = std::max(total.max_leaf, child.max_leaf);
+        }
+        return total;
+      }
+      // Slice: n identical copies, each processing 1/n of the data.
+      SUP_CHECK(n.shape == sp::ParShape::kSlice);
+      WorkSpan body =
+          evaluate(*n.children[0], cost, n.replicas, include_disabled);
+      return {body.work * n.replicas, body.span, body.max_leaf};
+    }
+    case sp::NodeKind::kOption:
+      // Predict the enabled configuration (disabled subgraphs cost 0),
+      // unless the caller asked for the worst case.
+      if (!n.initially_enabled && !include_disabled) return {};
+      return evaluate(*n.children[0], cost, slice_count, include_disabled);
+    case sp::NodeKind::kManager:
+      return evaluate(*n.children[0], cost, slice_count, include_disabled);
+  }
+  return {};
+}
+
+Prediction finish(WorkSpan ws, int processors) {
+  Prediction p;
+  p.processors = std::max(1, processors);
+  p.work = ws.work;
+  p.span = ws.span;
+  // SPC contention bound for one iteration.
+  p.t_iteration = std::max(ws.span, ws.work / p.processors);
+  // Steady-state pipelined interval: processors limit throughput, and a
+  // component is sequential with itself across iterations.
+  p.interval = std::max(ws.work / p.processors, ws.max_leaf);
+  return p;
+}
+
+}  // namespace
+
+Prediction predict_from_tree(const sp::Node& root, const LeafCost& cost,
+                             int processors) {
+  WorkSpan ws;
+  if (!sp::is_sp_form(root)) {
+    // §3.3: non-SP (crossdep) structures are predicted through their SP
+    // form, obtained by adding a sync point between the parblocks.
+    sp::NodePtr sp_root = sp::to_sp_form(root);
+    ws = evaluate(*sp_root, cost, 1);
+  } else {
+    ws = evaluate(root, cost, 1);
+  }
+  return finish(ws, processors);
+}
+
+Prediction predict_from_profile(const hinch::Program& prog,
+                                const std::vector<double>& task_cost,
+                                int processors) {
+  const std::vector<hinch::Task>& tasks = prog.tasks();
+  SUP_CHECK(task_cost.size() == tasks.size());
+  WorkSpan ws;
+  // Longest path over the DAG. Task ids are created in a topological
+  // order? Not guaranteed for crossdep wiring, so do a proper pass.
+  std::vector<double> dist(tasks.size(), -1);
+  std::vector<int> indeg(tasks.size(), 0);
+  for (const hinch::Task& t : tasks)
+    indeg[static_cast<size_t>(t.id)] = static_cast<int>(t.preds.size());
+  std::vector<int> queue;
+  for (const hinch::Task& t : tasks) {
+    ws.work += task_cost[static_cast<size_t>(t.id)];
+    ws.max_leaf = std::max(ws.max_leaf, task_cost[static_cast<size_t>(t.id)]);
+    if (t.preds.empty()) {
+      queue.push_back(t.id);
+      dist[static_cast<size_t>(t.id)] = task_cost[static_cast<size_t>(t.id)];
+    }
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const hinch::Task& t = tasks[static_cast<size_t>(queue[qi])];
+    for (int s : t.succs) {
+      double cand = dist[static_cast<size_t>(t.id)] +
+                    task_cost[static_cast<size_t>(s)];
+      dist[static_cast<size_t>(s)] = std::max(dist[static_cast<size_t>(s)],
+                                              cand);
+      if (--indeg[static_cast<size_t>(s)] == 0) queue.push_back(s);
+    }
+  }
+  SUP_CHECK_MSG(queue.size() == tasks.size(), "task DAG has a cycle");
+  for (double d : dist) ws.span = std::max(ws.span, d);
+  return finish(ws, processors);
+}
+
+double wcet_iteration(const sp::Node& root, const LeafCost& worst_cost,
+                      int processors) {
+  WorkSpan ws;
+  if (!sp::is_sp_form(root)) {
+    sp::NodePtr sp_root = sp::to_sp_form(root);
+    ws = evaluate(*sp_root, worst_cost, 1, /*include_disabled=*/true);
+  } else {
+    ws = evaluate(root, worst_cost, 1, /*include_disabled=*/true);
+  }
+  return finish(ws, processors).t_iteration;
+}
+
+std::vector<double> speedup_curve(const hinch::Program& prog,
+                                  const std::vector<double>& task_cost,
+                                  int max_processors, int64_t iterations) {
+  std::vector<double> out;
+  Prediction base = predict_from_profile(prog, task_cost, 1);
+  double t1 = base.total(iterations);
+  for (int p = 1; p <= max_processors; ++p) {
+    Prediction pred = predict_from_profile(prog, task_cost, p);
+    out.push_back(t1 / pred.total(iterations));
+  }
+  return out;
+}
+
+}  // namespace perf

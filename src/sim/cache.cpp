@@ -1,0 +1,101 @@
+#include "sim/cache.hpp"
+
+#include "support/check.hpp"
+
+namespace sim {
+
+void MemorySystem::Lru::touch(ChunkKey k) {
+  auto it = index.find(k);
+  if (it != index.end()) {
+    order.splice(order.begin(), order, it->second);
+    return;
+  }
+  order.push_front(k);
+  index[k] = order.begin();
+  while (order.size() > capacity_chunks) {
+    index.erase(order.back());
+    order.pop_back();
+  }
+}
+
+void MemorySystem::Lru::erase(ChunkKey k) {
+  auto it = index.find(k);
+  if (it == index.end()) return;
+  order.erase(it->second);
+  index.erase(it);
+}
+
+MemorySystem::MemorySystem(const CacheConfig& config) : config_(config) {
+  SUP_CHECK(config.cores >= 1);
+  SUP_CHECK(config.chunk_bytes > 0);
+  l1_.resize(static_cast<size_t>(config.cores));
+  for (Lru& l : l1_)
+    l.capacity_chunks = config.l1_bytes / config.chunk_bytes;
+  l2_.capacity_chunks = config.l2_bytes / config.chunk_bytes;
+  SUP_CHECK(l1_[0].capacity_chunks >= 1 && l2_.capacity_chunks >= 1);
+}
+
+RegionId MemorySystem::register_region(uint64_t bytes, std::string label) {
+  (void)label;
+  RegionId id = next_region_++;
+  region_bytes_[id] = bytes;
+  return id;
+}
+
+void MemorySystem::release_region(RegionId id) {
+  auto it = region_bytes_.find(id);
+  if (it == region_bytes_.end()) return;
+  uint64_t chunks =
+      (it->second + config_.chunk_bytes - 1) / config_.chunk_bytes;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    ChunkKey k = key(id, c);
+    for (Lru& l : l1_) l.erase(k);
+    l2_.erase(k);
+  }
+  region_bytes_.erase(it);
+}
+
+Cycles MemorySystem::access(int core, RegionId region, uint64_t offset,
+                            uint64_t len, bool write) {
+  SUP_DCHECK(core >= 0 && core < static_cast<int>(l1_.size()));
+  if (len == 0) return 0;
+  auto it = region_bytes_.find(region);
+  SUP_CHECK_MSG(it != region_bytes_.end(), "access to unregistered region");
+  SUP_DCHECK(offset + len <= it->second);
+
+  const uint64_t first = offset / config_.chunk_bytes;
+  const uint64_t last = (offset + len - 1) / config_.chunk_bytes;
+  Lru& mine = l1_[static_cast<size_t>(core)];
+  Cycles stall = 0;
+  for (uint64_t c = first; c <= last; ++c) {
+    ChunkKey k = key(region, c);
+    ++stats_.accesses;
+    if (mine.contains(k)) {
+      ++stats_.l1_hits;
+      mine.touch(k);
+    } else if (l2_.contains(k)) {
+      ++stats_.l2_hits;
+      stall += config_.l2_cycles_per_chunk;
+      l2_.touch(k);
+      mine.touch(k);
+    } else {
+      ++stats_.mem_fetches;
+      stall += config_.mem_cycles_per_chunk;
+      l2_.touch(k);
+      mine.touch(k);
+    }
+    if (write) {
+      for (size_t i = 0; i < l1_.size(); ++i) {
+        if (static_cast<int>(i) == core) continue;
+        if (l1_[i].contains(k)) {
+          l1_[i].erase(k);
+          ++stats_.invalidations;
+        }
+      }
+    }
+  }
+  stats_.stall_cycles += stall;
+  return stall;
+}
+
+}  // namespace sim

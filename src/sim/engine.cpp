@@ -1,0 +1,25 @@
+#include "sim/engine.hpp"
+
+#include "support/check.hpp"
+
+namespace sim {
+
+void Engine::schedule_at(Cycles t, std::function<void()> fn) {
+  SUP_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Cycles Engine::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the event must be moved out
+    // before pop, and fn may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace sim

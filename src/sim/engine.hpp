@@ -1,0 +1,55 @@
+// Deterministic discrete-event simulation core.
+//
+// This is the time base of the SpaceCAKE-substitute MPSoC model (see
+// DESIGN.md): the Hinch SimExecutor schedules job start/completion events
+// here, and the cache model (sim/cache.hpp) converts memory traffic into
+// cycles. Events at equal timestamps fire in scheduling order, so every
+// run is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sim {
+
+// Simulated clock cycles.
+using Cycles = uint64_t;
+
+class Engine {
+ public:
+  // Schedule `fn` to run at absolute time `t` (must be >= now()).
+  void schedule_at(Cycles t, std::function<void()> fn);
+  // Schedule `fn` `delta` cycles from now.
+  void schedule_after(Cycles delta, std::function<void()> fn) {
+    schedule_at(now_ + delta, std::move(fn));
+  }
+
+  Cycles now() const { return now_; }
+
+  // Process events until the queue is empty. Returns the final time.
+  Cycles run();
+
+  // Number of events processed so far.
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Cycles time;
+    uint64_t seq;  // stable tie-break: earlier-scheduled first
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycles now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,120 @@
+#include "sp/dot.hpp"
+
+#include "support/strings.hpp"
+
+namespace sp {
+namespace {
+
+struct DotState {
+  std::string out;
+  int next_id = 0;
+};
+
+// Emits nodes/edges for the subtree; returns (first, last) node ids so the
+// parent can chain sequential steps.
+struct Span {
+  int first;
+  int last;
+};
+
+Span emit(const Node& n, DotState* s) {
+  switch (n.kind()) {
+    case NodeKind::kLeaf: {
+      int id = s->next_id++;
+      s->out += support::format(
+          "  n%d [shape=box,label=\"%s\\n(%s)\"];\n", id,
+          n.leaf.instance.c_str(), n.leaf.klass.c_str());
+      return {id, id};
+    }
+    case NodeKind::kSeq: {
+      Span whole{-1, -1};
+      for (const NodePtr& c : n.children) {
+        Span child = emit(*c, s);
+        if (whole.first < 0) {
+          whole = child;
+        } else {
+          s->out += support::format("  n%d -> n%d;\n", whole.last,
+                                    child.first);
+          whole.last = child.last;
+        }
+      }
+      if (whole.first < 0) {
+        int id = s->next_id++;
+        s->out += support::format("  n%d [shape=point];\n", id);
+        whole = {id, id};
+      }
+      return whole;
+    }
+    case NodeKind::kPar: {
+      int fork = s->next_id++;
+      int join = s->next_id++;
+      const std::string extra = n.shape == ParShape::kTask
+                                    ? std::string()
+                                    : support::format(" n=%d", n.replicas);
+      s->out += support::format(
+          "  n%d [shape=diamond,label=\"par %s%s\"];\n", fork,
+          shape_name(n.shape), extra.c_str());
+      s->out += support::format("  n%d [shape=diamond,label=\"join\"];\n",
+                                join);
+      for (const NodePtr& c : n.children) {
+        Span child = emit(*c, s);
+        s->out += support::format("  n%d -> n%d;\n", fork, child.first);
+        s->out += support::format("  n%d -> n%d;\n", child.last, join);
+      }
+      return {fork, join};
+    }
+    case NodeKind::kOption: {
+      int head = s->next_id++;
+      s->out += support::format(
+          "  n%d [shape=octagon,label=\"option %s%s\"];\n", head,
+          n.option_name.c_str(), n.initially_enabled ? "" : " (off)");
+      Span body = emit(*n.children[0], s);
+      s->out += support::format("  n%d -> n%d [style=dashed];\n", head,
+                                body.first);
+      return {head, body.last};
+    }
+    case NodeKind::kGroup: {
+      // Rendered like a seq, with dotted chain edges to mark the fusion.
+      Span whole{-1, -1};
+      for (const NodePtr& c : n.children) {
+        Span child = emit(*c, s);
+        if (whole.first < 0) {
+          whole = child;
+        } else {
+          s->out += support::format("  n%d -> n%d [style=dotted];\n",
+                                    whole.last, child.first);
+          whole.last = child.last;
+        }
+      }
+      return whole;
+    }
+    case NodeKind::kManager: {
+      int enter = s->next_id++;
+      int exit = s->next_id++;
+      s->out += support::format(
+          "  n%d [shape=house,label=\"manager %s enter\"];\n", enter,
+          n.manager_name.c_str());
+      s->out += support::format(
+          "  n%d [shape=invhouse,label=\"manager %s exit\"];\n", exit,
+          n.manager_name.c_str());
+      Span body = emit(*n.children[0], s);
+      s->out += support::format("  n%d -> n%d;\n", enter, body.first);
+      s->out += support::format("  n%d -> n%d;\n", body.last, exit);
+      return {enter, exit};
+    }
+  }
+  SUP_CHECK(false);
+  return {0, 0};
+}
+
+}  // namespace
+
+std::string to_dot(const Node& root, const std::string& title) {
+  DotState s;
+  s.out = "digraph \"" + title + "\" {\n  rankdir=TB;\n";
+  emit(root, &s);
+  s.out += "}\n";
+  return s.out;
+}
+
+}  // namespace sp

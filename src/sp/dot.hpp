@@ -1,0 +1,13 @@
+// Graphviz export of SP graphs, for debugging and documentation.
+#pragma once
+
+#include <string>
+
+#include "sp/graph.hpp"
+
+namespace sp {
+
+// Render the tree as a Graphviz digraph (cluster per structural node).
+std::string to_dot(const Node& root, const std::string& title = "xspcl");
+
+}  // namespace sp

@@ -1,0 +1,141 @@
+#include "sp/graph.hpp"
+
+#include <algorithm>
+
+namespace sp {
+
+const char* kind_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::kLeaf: return "leaf";
+    case NodeKind::kSeq: return "seq";
+    case NodeKind::kPar: return "par";
+    case NodeKind::kOption: return "option";
+    case NodeKind::kManager: return "manager";
+    case NodeKind::kGroup: return "group";
+  }
+  return "?";
+}
+
+const char* shape_name(ParShape s) {
+  switch (s) {
+    case ParShape::kTask: return "task";
+    case ParShape::kSlice: return "slice";
+    case ParShape::kCrossDep: return "crossdep";
+  }
+  return "?";
+}
+
+const char* action_name(EventAction a) {
+  switch (a) {
+    case EventAction::kEnable: return "enable";
+    case EventAction::kDisable: return "disable";
+    case EventAction::kToggle: return "toggle";
+    case EventAction::kForward: return "forward";
+    case EventAction::kReconfigure: return "reconfigure";
+  }
+  return "?";
+}
+
+NodePtr Node::clone() const {
+  auto copy = std::make_unique<Node>(kind_);
+  copy->leaf = leaf;
+  copy->shape = shape;
+  copy->replicas = replicas;
+  copy->option_name = option_name;
+  copy->initially_enabled = initially_enabled;
+  copy->manager_name = manager_name;
+  copy->event_queue = event_queue;
+  copy->rules = rules;
+  copy->children.reserve(children.size());
+  for (const NodePtr& c : children) copy->children.push_back(c->clone());
+  return copy;
+}
+
+NodePtr make_leaf(LeafSpec spec) {
+  auto n = std::make_unique<Node>(NodeKind::kLeaf);
+  n->leaf = std::move(spec);
+  return n;
+}
+
+NodePtr make_seq(std::vector<NodePtr> children) {
+  auto n = std::make_unique<Node>(NodeKind::kSeq);
+  n->children = std::move(children);
+  return n;
+}
+
+NodePtr make_par(ParShape shape, int replicas,
+                 std::vector<NodePtr> parblocks) {
+  auto n = std::make_unique<Node>(NodeKind::kPar);
+  n->shape = shape;
+  n->replicas = replicas;
+  n->children = std::move(parblocks);
+  return n;
+}
+
+NodePtr make_option(std::string name, bool enabled, NodePtr body) {
+  auto n = std::make_unique<Node>(NodeKind::kOption);
+  n->option_name = std::move(name);
+  n->initially_enabled = enabled;
+  n->children.push_back(std::move(body));
+  return n;
+}
+
+NodePtr make_group(std::vector<NodePtr> components) {
+  auto n = std::make_unique<Node>(NodeKind::kGroup);
+  n->children = std::move(components);
+  return n;
+}
+
+NodePtr make_manager(std::string name, std::string queue,
+                     std::vector<EventRule> rules, NodePtr body) {
+  auto n = std::make_unique<Node>(NodeKind::kManager);
+  n->manager_name = std::move(name);
+  n->event_queue = std::move(queue);
+  n->rules = std::move(rules);
+  n->children.push_back(std::move(body));
+  return n;
+}
+
+void visit(const Node& root, const std::function<void(const Node&)>& fn) {
+  fn(root);
+  for (const NodePtr& c : root.children) visit(*c, fn);
+}
+
+std::vector<const Node*> collect_leaves(const Node& root) {
+  std::vector<const Node*> out;
+  visit(root, [&](const Node& n) {
+    if (n.kind() == NodeKind::kLeaf) out.push_back(&n);
+  });
+  return out;
+}
+
+namespace {
+
+void stats_rec(const Node& n, int depth, int mult, GraphStats* s) {
+  s->max_depth = std::max(s->max_depth, depth);
+  switch (n.kind()) {
+    case NodeKind::kLeaf:
+      ++s->leaves;
+      s->expanded_leaves += mult;
+      return;
+    case NodeKind::kSeq: ++s->seq_nodes; break;
+    case NodeKind::kPar:
+      ++s->par_nodes;
+      if (n.shape != ParShape::kTask) mult *= n.replicas;
+      break;
+    case NodeKind::kOption: ++s->options; break;
+    case NodeKind::kManager: ++s->managers; break;
+    case NodeKind::kGroup: break;
+  }
+  for (const NodePtr& c : n.children) stats_rec(*c, depth + 1, mult, s);
+}
+
+}  // namespace
+
+GraphStats stats(const Node& root) {
+  GraphStats s;
+  stats_rec(root, 0, 1, &s);
+  return s;
+}
+
+}  // namespace sp

@@ -1,0 +1,161 @@
+#include "sp/validate.hpp"
+
+#include <set>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace sp {
+namespace {
+
+struct Context {
+  std::set<std::string> instances;
+  std::set<std::string> options;
+  std::set<std::string> managers;
+  std::set<std::string> streams_written;
+  std::set<std::string> streams_read;
+};
+
+support::Status check(const Node& n, int manager_depth, Context* ctx) {
+  switch (n.kind()) {
+    case NodeKind::kLeaf: {
+      if (n.leaf.instance.empty())
+        return support::invalid_argument("leaf with empty instance name");
+      if (n.leaf.klass.empty())
+        return support::invalid_argument("component '" + n.leaf.instance +
+                                         "' has no class");
+      if (!ctx->instances.insert(n.leaf.instance).second)
+        return support::already_exists("duplicate component instance '" +
+                                       n.leaf.instance + "'");
+      if (!n.children.empty())
+        return support::invalid_argument("leaf nodes cannot have children");
+      for (const PortBinding& b : n.leaf.inputs) {
+        if (b.stream.empty())
+          return support::invalid_argument("empty stream on input port '" +
+                                           b.port + "' of '" +
+                                           n.leaf.instance + "'");
+        ctx->streams_read.insert(b.stream);
+      }
+      for (const PortBinding& b : n.leaf.outputs) {
+        if (b.stream.empty())
+          return support::invalid_argument("empty stream on output port '" +
+                                           b.port + "' of '" +
+                                           n.leaf.instance + "'");
+        ctx->streams_written.insert(b.stream);
+      }
+      return support::Status::ok();
+    }
+    case NodeKind::kSeq:
+      break;
+    case NodeKind::kGroup: {
+      if (n.children.empty())
+        return support::invalid_argument("group with no components");
+      for (const NodePtr& c : n.children) {
+        if (c->kind() != NodeKind::kLeaf)
+          return support::invalid_argument(
+              "groups may only contain components (they are scheduled as "
+              "one entity)");
+      }
+      break;
+    }
+    case NodeKind::kPar: {
+      if (n.children.empty())
+        return support::invalid_argument("parallel node with no parblocks");
+      if (n.replicas < 1)
+        return support::invalid_argument("parallel replicas must be >= 1");
+      if (n.shape == ParShape::kTask && n.replicas != 1)
+        return support::invalid_argument(
+            "task-shaped parallel nodes have no replica count");
+      if (n.shape == ParShape::kSlice && n.children.size() != 1)
+        return support::invalid_argument(
+            "slice-shaped parallel nodes take exactly one parblock (§3.3)");
+      break;
+    }
+    case NodeKind::kOption: {
+      if (n.option_name.empty())
+        return support::invalid_argument("option with empty name");
+      if (manager_depth == 0)
+        return support::failed_precondition(
+            "option '" + n.option_name +
+            "' is not contained inside a manager (§3.4)");
+      if (!ctx->options.insert(n.option_name).second)
+        return support::already_exists("duplicate option '" + n.option_name +
+                                       "'");
+      if (n.children.size() != 1)
+        return support::invalid_argument("option must have exactly one child");
+      break;
+    }
+    case NodeKind::kManager: {
+      if (n.manager_name.empty())
+        return support::invalid_argument("manager with empty name");
+      if (!ctx->managers.insert(n.manager_name).second)
+        return support::already_exists("duplicate manager '" +
+                                       n.manager_name + "'");
+      if (n.children.size() != 1)
+        return support::invalid_argument(
+            "manager must have exactly one child");
+      if (n.event_queue.empty())
+        return support::invalid_argument("manager '" + n.manager_name +
+                                         "' has no event queue");
+      // Rules that flip options must reference an option inside this
+      // manager's subgraph.
+      std::set<std::string> local_options;
+      visit(*n.children[0], [&](const Node& c) {
+        if (c.kind() == NodeKind::kOption) local_options.insert(c.option_name);
+      });
+      for (const EventRule& r : n.rules) {
+        if (r.event.empty())
+          return support::invalid_argument("manager '" + n.manager_name +
+                                           "' has a rule with no event");
+        switch (r.action) {
+          case EventAction::kEnable:
+          case EventAction::kDisable:
+          case EventAction::kToggle:
+            if (!local_options.count(r.target))
+              return support::not_found(
+                  "manager '" + n.manager_name + "' rule for event '" +
+                  r.event + "' references option '" + r.target +
+                  "' outside its subgraph");
+            break;
+          case EventAction::kForward:
+            if (r.target.empty())
+              return support::invalid_argument(
+                  "forward rule with no destination queue");
+            break;
+          case EventAction::kReconfigure:
+            break;
+        }
+      }
+      break;
+    }
+  }
+  int next_depth = manager_depth + (n.kind() == NodeKind::kManager ? 1 : 0);
+  for (const NodePtr& c : n.children) {
+    SUP_RETURN_IF_ERROR(check(*c, next_depth, ctx));
+  }
+  return support::Status::ok();
+}
+
+}  // namespace
+
+support::Status validate(const Node& root) {
+  Context ctx;
+  SUP_RETURN_IF_ERROR(check(root, 0, &ctx));
+  for (const std::string& s : ctx.streams_read) {
+    if (!ctx.streams_written.count(s))
+      return support::failed_precondition("stream '" + s +
+                                          "' is read but never written");
+  }
+  return support::Status::ok();
+}
+
+bool is_sp_form(const Node& root) {
+  bool sp = true;
+  visit(root, [&](const Node& n) {
+    if (n.kind() == NodeKind::kPar && n.shape == ParShape::kCrossDep)
+      sp = false;
+  });
+  return sp;
+}
+
+}  // namespace sp

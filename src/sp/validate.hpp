@@ -1,0 +1,26 @@
+// Structural validation of an SP graph before instantiation (§2, §3).
+#pragma once
+
+#include "sp/graph.hpp"
+#include "support/status.hpp"
+
+namespace sp {
+
+// Checks, in order:
+//  - every leaf has a non-empty, globally unique instance name and class;
+//  - par nodes have >= 1 parblocks; slice has exactly one parblock;
+//    replicas >= 1; task shape has replicas == 1;
+//  - every option node lives inside some manager (§3.4: "the option must
+//    be contained inside a special manager structure");
+//  - option and manager names are unique; manager rules that
+//    enable/disable/toggle reference an option inside that manager;
+//  - every stream read by some component is written by some component;
+//  - seq/option/manager nodes have the expected child counts.
+support::Status validate(const Node& root);
+
+// True when the graph is in Series-Parallel form, i.e. contains no
+// crossdep regions (§3.3: crossdep "does not adhere to the
+// Series-Parallel paradigm").
+bool is_sp_form(const Node& root);
+
+}  // namespace sp

@@ -1,0 +1,38 @@
+// Runtime assertion macros used across the project.
+//
+// SUP_CHECK is always on (release included): invariants whose violation
+// means memory corruption or a logic bug we must not silently ride over.
+// SUP_DCHECK compiles out in NDEBUG builds and may sit on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace support::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace support::detail
+
+#define SUP_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::support::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define SUP_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::support::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SUP_DCHECK(expr) ((void)0)
+#else
+#define SUP_DCHECK(expr) SUP_CHECK(expr)
+#endif

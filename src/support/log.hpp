@@ -1,0 +1,43 @@
+// Tiny leveled logger. Thread-safe (single global mutex); intended for
+// tool diagnostics and test debugging, not hot paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emit one log line (adds level prefix and newline).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace support
+
+#define SUP_LOG(level) ::support::detail::LogLine(level)
+#define SUP_DEBUG SUP_LOG(::support::LogLevel::kDebug)
+#define SUP_INFO SUP_LOG(::support::LogLevel::kInfo)
+#define SUP_WARN SUP_LOG(::support::LogLevel::kWarn)
+#define SUP_ERROR SUP_LOG(::support::LogLevel::kError)

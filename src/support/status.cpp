@@ -1,0 +1,51 @@
+#include "support/status.hpp"
+
+namespace support {
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Code::kOutOfRange: return "OUT_OF_RANGE";
+    case Code::kUnimplemented: return "UNIMPLEMENTED";
+    case Code::kInternal: return "INTERNAL";
+    case Code::kIo: return "IO";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string s = code_name(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+Status invalid_argument(std::string msg) {
+  return Status(Code::kInvalidArgument, std::move(msg));
+}
+Status not_found(std::string msg) {
+  return Status(Code::kNotFound, std::move(msg));
+}
+Status already_exists(std::string msg) {
+  return Status(Code::kAlreadyExists, std::move(msg));
+}
+Status failed_precondition(std::string msg) {
+  return Status(Code::kFailedPrecondition, std::move(msg));
+}
+Status out_of_range(std::string msg) {
+  return Status(Code::kOutOfRange, std::move(msg));
+}
+Status unimplemented(std::string msg) {
+  return Status(Code::kUnimplemented, std::move(msg));
+}
+Status internal_error(std::string msg) {
+  return Status(Code::kInternal, std::move(msg));
+}
+Status io_error(std::string msg) { return Status(Code::kIo, std::move(msg)); }
+
+}  // namespace support

@@ -1,0 +1,109 @@
+// Minimal Status / Result<T> types for recoverable errors (parsing,
+// validation, I/O). Programming errors use SUP_CHECK instead.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/check.hpp"
+
+namespace support {
+
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIo,
+};
+
+const char* code_name(Code c);
+
+// A Status is cheap to copy when OK (empty message).
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string.
+  std::string to_string() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+Status invalid_argument(std::string msg);
+Status not_found(std::string msg);
+Status already_exists(std::string msg);
+Status failed_precondition(std::string msg);
+Status out_of_range(std::string msg);
+Status unimplemented(std::string msg);
+Status internal_error(std::string msg);
+Status io_error(std::string msg);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    SUP_CHECK_MSG(!std::get<Status>(v_).is_ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    SUP_CHECK_MSG(is_ok(), status_unchecked().to_string().c_str());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    SUP_CHECK_MSG(is_ok(), status_unchecked().to_string().c_str());
+    return std::get<T>(v_);
+  }
+  T&& take() && {
+    SUP_CHECK_MSG(is_ok(), status_unchecked().to_string().c_str());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+
+ private:
+  const Status& status_unchecked() const { return std::get<Status>(v_); }
+  std::variant<T, Status> v_;
+};
+
+}  // namespace support
+
+// Propagate a non-OK status out of the current function.
+#define SUP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::support::Status sup_st_ = (expr);            \
+    if (!sup_st_.is_ok()) return sup_st_;          \
+  } while (0)
+
+// Assign the value of a Result to `lhs`, or return its status.
+#define SUP_CONCAT_INNER(a, b) a##b
+#define SUP_CONCAT(a, b) SUP_CONCAT_INNER(a, b)
+#define SUP_ASSIGN_OR_RETURN(lhs, expr)                            \
+  SUP_ASSIGN_OR_RETURN_IMPL(SUP_CONCAT(sup_res_, __LINE__), lhs, expr)
+#define SUP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.is_ok()) return tmp.status();          \
+  lhs = std::move(tmp).take()

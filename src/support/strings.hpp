@@ -1,0 +1,33 @@
+// Small string utilities shared by the XML parser, XSPCL front end, and
+// command-line tools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace support {
+
+// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// Split on a separator character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Strict integer / double parsing of the full string (after trimming).
+Result<int64_t> parse_int(std::string_view s);
+Result<double> parse_double(std::string_view s);
+
+// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_.-]*
+bool is_identifier(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace support

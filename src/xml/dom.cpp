@@ -1,0 +1,77 @@
+#include "xml/dom.hpp"
+
+#include "support/strings.hpp"
+
+namespace xml {
+
+const std::string* Element::find_attr(std::string_view name) const {
+  for (const Attribute& a : attrs_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+std::string Element::attr_or(std::string_view name,
+                             std::string_view fallback) const {
+  const std::string* v = find_attr(name);
+  return v ? *v : std::string(fallback);
+}
+
+support::Result<std::string> Element::require_attr(
+    std::string_view name) const {
+  const std::string* v = find_attr(name);
+  if (!v) {
+    return support::not_found(support::format(
+        "element <%s> at %d:%d is missing required attribute '%s'",
+        name_.c_str(), pos_.line, pos_.column, std::string(name).c_str()));
+  }
+  return *v;
+}
+
+void Element::set_attr(std::string_view name, std::string_view value) {
+  for (Attribute& a : attrs_) {
+    if (a.name == name) {
+      a.value.assign(value);
+      return;
+    }
+  }
+  attrs_.push_back({std::string(name), std::string(value)});
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+const Element* Element::find_child(std::string_view name) const {
+  for (const ElementPtr& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::find_children(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const ElementPtr& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+ElementPtr Element::clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->pos_ = pos_;
+  copy->attrs_ = attrs_;
+  copy->text_ = text_;
+  copy->children_.reserve(children_.size());
+  for (const ElementPtr& c : children_) copy->children_.push_back(c->clone());
+  return copy;
+}
+
+std::string Element::describe() const {
+  return support::format("<%s> at %d:%d", name_.c_str(), pos_.line,
+                         pos_.column);
+}
+
+}  // namespace xml

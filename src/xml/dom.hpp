@@ -1,0 +1,79 @@
+// A small XML DOM: the substrate for the XSPCL coordination language.
+// Supports elements, attributes, character data, comments (discarded),
+// CDATA, and the five predefined entities plus numeric character refs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace xml {
+
+// Source position for diagnostics (1-based).
+struct Position {
+  int line = 1;
+  int column = 1;
+};
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+// An XML element. Text content is kept as a single concatenated string
+// (interleaving order with child elements is not preserved; XSPCL never
+// relies on mixed content).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  Position position() const { return pos_; }
+  void set_position(Position p) { pos_ = p; }
+
+  // --- attributes ---
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+  // Returns nullptr when absent.
+  const std::string* find_attr(std::string_view name) const;
+  bool has_attr(std::string_view name) const { return find_attr(name); }
+  // Returns the value or `fallback` when absent.
+  std::string attr_or(std::string_view name, std::string_view fallback) const;
+  // Error (kNotFound) when the attribute is absent.
+  support::Result<std::string> require_attr(std::string_view name) const;
+  void set_attr(std::string_view name, std::string_view value);
+
+  // --- children ---
+  const std::vector<ElementPtr>& children() const { return children_; }
+  Element& add_child(std::string name);
+  void adopt_child(ElementPtr child) { children_.push_back(std::move(child)); }
+  // First child with the given tag name, or nullptr.
+  const Element* find_child(std::string_view name) const;
+  // All children with the given tag name.
+  std::vector<const Element*> find_children(std::string_view name) const;
+
+  // --- text ---
+  const std::string& text() const { return text_; }
+  void append_text(std::string_view t) { text_.append(t); }
+  void set_text(std::string_view t) { text_.assign(t); }
+
+  // Deep copy.
+  ElementPtr clone() const;
+
+  // "name@line:col" label for error messages.
+  std::string describe() const;
+
+ private:
+  std::string name_;
+  Position pos_;
+  std::vector<Attribute> attrs_;
+  std::vector<ElementPtr> children_;
+  std::string text_;
+};
+
+}  // namespace xml

@@ -1,0 +1,266 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace xml {
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  support::Result<ElementPtr> parse_document() {
+    skip_misc();
+    if (at_end()) return err("document contains no root element");
+    SUP_ASSIGN_OR_RETURN(ElementPtr root, parse_element());
+    skip_misc();
+    if (!at_end()) return err("content after root element");
+    return root;
+  }
+
+ private:
+  // --- character stream ---
+  bool at_end() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  char peek_at(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+  void advance() {
+    if (in_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  bool looking_at(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void skip(size_t n) {
+    for (size_t i = 0; i < n && !at_end(); ++i) advance();
+  }
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+  }
+
+  support::Status err(const std::string& what) const {
+    return support::invalid_argument(
+        support::format("XML parse error at %d:%d: %s", line_, col_,
+                        what.c_str()));
+  }
+
+  // Skip whitespace, comments, PIs, and the XML declaration between
+  // top-level constructs.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (looking_at("<!--")) {
+        skip_comment();
+      } else if (looking_at("<?")) {
+        skip_pi();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    skip(4);  // "<!--"
+    while (!at_end() && !looking_at("-->")) advance();
+    skip(3);
+  }
+
+  void skip_pi() {
+    skip(2);  // "<?"
+    while (!at_end() && !looking_at("?>")) advance();
+    skip(2);
+  }
+
+  support::Result<std::string> parse_name() {
+    if (at_end() || !is_name_start(peek())) return err("expected a name");
+    size_t start = pos_;
+    while (!at_end() && is_name_char(peek())) advance();
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  // Decode one entity starting at '&'. Appends to out.
+  support::Status parse_entity(std::string& out) {
+    advance();  // '&'
+    size_t start = pos_;
+    while (!at_end() && peek() != ';') {
+      if (pos_ - start > 8) return err("unterminated entity reference");
+      advance();
+    }
+    if (at_end()) return err("unterminated entity reference");
+    std::string_view name = in_.substr(start, pos_ - start);
+    advance();  // ';'
+    if (name == "amp") {
+      out += '&';
+    } else if (name == "lt") {
+      out += '<';
+    } else if (name == "gt") {
+      out += '>';
+    } else if (name == "quot") {
+      out += '"';
+    } else if (name == "apos") {
+      out += '\'';
+    } else if (!name.empty() && name[0] == '#') {
+      long code = 0;
+      char* end = nullptr;
+      std::string digits(name.substr(1));
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        code = std::strtol(digits.c_str() + 1, &end, 16);
+        if (end != digits.c_str() + digits.size())
+          return err("bad hex character reference");
+      } else {
+        code = std::strtol(digits.c_str(), &end, 10);
+        if (end != digits.c_str() + digits.size())
+          return err("bad character reference");
+      }
+      if (code <= 0 || code > 127)
+        return err("character reference outside ASCII range");
+      out += static_cast<char>(code);
+    } else {
+      return err("unknown entity '&" + std::string(name) + ";'");
+    }
+    return support::Status::ok();
+  }
+
+  support::Result<Attribute> parse_attribute() {
+    SUP_ASSIGN_OR_RETURN(std::string name, parse_name());
+    skip_ws();
+    if (at_end() || peek() != '=') return err("expected '=' after attribute");
+    advance();
+    skip_ws();
+    if (at_end() || (peek() != '"' && peek() != '\''))
+      return err("expected quoted attribute value");
+    char quote = peek();
+    advance();
+    std::string value;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '<') return err("'<' in attribute value");
+      if (peek() == '&') {
+        SUP_RETURN_IF_ERROR(parse_entity(value));
+      } else {
+        value += peek();
+        advance();
+      }
+    }
+    if (at_end()) return err("unterminated attribute value");
+    advance();  // closing quote
+    return Attribute{std::move(name), std::move(value)};
+  }
+
+  support::Result<ElementPtr> parse_element() {
+    Position open_pos{line_, col_};
+    if (at_end() || peek() != '<') return err("expected '<'");
+    if (looking_at("<!DOCTYPE"))
+      return err("DOCTYPE declarations are not supported");
+    advance();
+    SUP_ASSIGN_OR_RETURN(std::string name, parse_name());
+    auto elem = std::make_unique<Element>(name);
+    elem->set_position(open_pos);
+
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (at_end()) return err("unterminated start tag <" + name + ">");
+      if (peek() == '/' || peek() == '>') break;
+      SUP_ASSIGN_OR_RETURN(Attribute attr, parse_attribute());
+      if (elem->has_attr(attr.name))
+        return err("duplicate attribute '" + attr.name + "'");
+      elem->set_attr(attr.name, attr.value);
+    }
+
+    if (peek() == '/') {
+      advance();
+      if (at_end() || peek() != '>') return err("expected '>' after '/'");
+      advance();
+      return elem;  // empty element
+    }
+    advance();  // '>'
+
+    // Content.
+    for (;;) {
+      if (at_end())
+        return err("missing closing tag </" + name + ">");
+      if (looking_at("<!--")) {
+        skip_comment();
+      } else if (looking_at("<![CDATA[")) {
+        skip(9);
+        std::string text;
+        while (!at_end() && !looking_at("]]>")) {
+          text += peek();
+          advance();
+        }
+        if (at_end()) return err("unterminated CDATA section");
+        skip(3);
+        elem->append_text(text);
+      } else if (looking_at("</")) {
+        skip(2);
+        SUP_ASSIGN_OR_RETURN(std::string close, parse_name());
+        if (close != name)
+          return err("mismatched closing tag </" + close + ">, expected </" +
+                     name + ">");
+        skip_ws();
+        if (at_end() || peek() != '>') return err("expected '>'");
+        advance();
+        return elem;
+      } else if (looking_at("<?")) {
+        skip_pi();
+      } else if (peek() == '<') {
+        SUP_ASSIGN_OR_RETURN(ElementPtr child, parse_element());
+        elem->adopt_child(std::move(child));
+      } else {
+        std::string text;
+        while (!at_end() && peek() != '<') {
+          if (peek() == '&') {
+            SUP_RETURN_IF_ERROR(parse_entity(text));
+          } else {
+            text += peek();
+            advance();
+          }
+        }
+        // Keep only non-whitespace character data.
+        if (!support::trim(text).empty()) elem->append_text(text);
+      }
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+support::Result<ElementPtr> parse(std::string_view input) {
+  Parser p(input);
+  return p.parse_document();
+}
+
+support::Result<ElementPtr> parse_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return support::io_error("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace xml

@@ -1,0 +1,26 @@
+// Recursive-descent parser for the XML subset used by XSPCL.
+//
+// Supported: one root element, nested elements, attributes with single or
+// double quotes, character data, comments, CDATA sections, XML
+// declarations / processing instructions (skipped), predefined entities
+// (&amp; &lt; &gt; &quot; &apos;) and numeric character references
+// (&#NN; and &#xHH;, ASCII range).
+//
+// Not supported (rejected with a diagnostic): DOCTYPE, custom entities,
+// namespaces beyond treating ':' as a name character.
+#pragma once
+
+#include <string_view>
+
+#include "support/status.hpp"
+#include "xml/dom.hpp"
+
+namespace xml {
+
+// Parse a complete document; returns its root element.
+support::Result<ElementPtr> parse(std::string_view input);
+
+// Parse the contents of a file.
+support::Result<ElementPtr> parse_file(const std::string& path);
+
+}  // namespace xml

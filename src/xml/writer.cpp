@@ -1,0 +1,72 @@
+#include "xml/writer.hpp"
+
+namespace xml {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s, bool attr) {
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (attr) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+}
+
+void write_element(const Element& e, int depth, std::string& out) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += '<';
+  out += e.name();
+  for (const Attribute& a : e.attributes()) {
+    out += ' ';
+    out += a.name;
+    out += "=\"";
+    append_escaped(out, a.value, /*attr=*/true);
+    out += '"';
+  }
+  if (e.children().empty() && e.text().empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += '>';
+  if (!e.text().empty()) append_escaped(out, e.text(), /*attr=*/false);
+  if (!e.children().empty()) {
+    out += '\n';
+    for (const ElementPtr& c : e.children())
+      write_element(*c, depth + 1, out);
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  out += "</";
+  out += e.name();
+  out += ">\n";
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view s) {
+  std::string out;
+  append_escaped(out, s, /*attr=*/false);
+  return out;
+}
+
+std::string escape_attr(std::string_view s) {
+  std::string out;
+  append_escaped(out, s, /*attr=*/true);
+  return out;
+}
+
+std::string write(const Element& root) {
+  std::string out;
+  write_element(root, 0, out);
+  return out;
+}
+
+}  // namespace xml

@@ -1,0 +1,19 @@
+// Serializes a DOM back to text. parse(write(e)) reproduces the element
+// structure, attributes, and (trimmed) text exactly — the round-trip
+// property the tests rely on.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace xml {
+
+// Escape characters that are special in character data / attributes.
+std::string escape_text(std::string_view s);
+std::string escape_attr(std::string_view s);
+
+// Pretty-print with two-space indentation.
+std::string write(const Element& root);
+
+}  // namespace xml

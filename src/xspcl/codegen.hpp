@@ -1,0 +1,29 @@
+// XSPCL -> C++ code generation: the paper's conversion tool emits glue
+// code that builds the task graph and hands it to the Hinch RTS (§1,
+// §3). The generated source contains `build_graph()` reconstructing the
+// fully elaborated SP graph, plus (optionally) a main() that registers
+// the standard component library, builds the Program, and runs it.
+//
+// As in the paper, this glue only executes at initialization time; the
+// steady-state iteration loop is entirely inside the runtime.
+#pragma once
+
+#include <string>
+
+#include "sp/graph.hpp"
+
+namespace xspcl {
+
+struct CodegenOptions {
+  // Identifier-safe application name: namespace `xspcl_gen_<app_name>`.
+  std::string app_name = "app";
+  // Also emit a main() that runs the application on the simulator or the
+  // thread backend (--backend=sim|threads --cores=N --iterations=N).
+  bool emit_main = true;
+  int64_t default_iterations = 32;
+};
+
+// Returns the complete C++ translation unit.
+std::string generate_cpp(const sp::Node& root, const CodegenOptions& options);
+
+}  // namespace xspcl

@@ -1,0 +1,35 @@
+// AST -> SP graph elaboration: inlines procedure calls (procedural
+// abstraction, §3.2), substitutes $formal parameters in attribute
+// values, scopes procedure-local stream / instance / option names, and
+// resolves replica counts.
+//
+// Scoping rules:
+//  - instance, option and manager names are prefixed with the call path
+//    ("left/down" for component `down` in a procedure called as `left`);
+//  - stream names are procedure-local unless bound to a stream formal,
+//    which resolves to the caller's stream;
+//  - event queue names are global (events cross the whole application);
+//  - manager rule option targets resolve in the manager's own scope.
+//
+// Recursion is rejected, as in the paper ("recursion is currently not
+// supported as there is no way to end the recursion", §3.2).
+#pragma once
+
+#include <map>
+
+#include "sp/graph.hpp"
+#include "support/status.hpp"
+#include "xspcl/ast.hpp"
+
+namespace xspcl {
+
+support::Result<sp::NodePtr> elaborate(const ast::Program& program,
+                                       const std::string& entry = "main");
+
+// Substitute $name / ${name} references using the given bindings.
+// "$$" escapes a literal dollar. Unknown references are errors.
+support::Result<std::string> substitute(
+    const std::string& text,
+    const std::map<std::string, std::string>& bindings);
+
+}  // namespace xspcl

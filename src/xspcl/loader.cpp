@@ -1,0 +1,37 @@
+#include "xspcl/loader.hpp"
+
+#include "sp/validate.hpp"
+#include "xspcl/elaborate.hpp"
+#include "xspcl/parser.hpp"
+
+namespace xspcl {
+
+support::Result<sp::NodePtr> load_string(std::string_view text) {
+  SUP_ASSIGN_OR_RETURN(ast::Program program, parse_string(text));
+  SUP_ASSIGN_OR_RETURN(sp::NodePtr graph, elaborate(program));
+  SUP_RETURN_IF_ERROR(sp::validate(*graph));
+  return graph;
+}
+
+support::Result<sp::NodePtr> load_file(const std::string& path) {
+  SUP_ASSIGN_OR_RETURN(ast::Program program, parse_file(path));
+  SUP_ASSIGN_OR_RETURN(sp::NodePtr graph, elaborate(program));
+  SUP_RETURN_IF_ERROR(sp::validate(*graph));
+  return graph;
+}
+
+support::Result<std::unique_ptr<hinch::Program>> build_program(
+    std::string_view text, const hinch::ComponentRegistry& registry,
+    const hinch::Program::BuildConfig& config) {
+  SUP_ASSIGN_OR_RETURN(sp::NodePtr graph, load_string(text));
+  return hinch::Program::build(*graph, registry, config);
+}
+
+support::Result<std::unique_ptr<hinch::Program>> build_program_from_file(
+    const std::string& path, const hinch::ComponentRegistry& registry,
+    const hinch::Program::BuildConfig& config) {
+  SUP_ASSIGN_OR_RETURN(sp::NodePtr graph, load_file(path));
+  return hinch::Program::build(*graph, registry, config);
+}
+
+}  // namespace xspcl

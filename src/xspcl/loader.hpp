@@ -1,0 +1,27 @@
+// One-call conveniences: XSPCL text/file -> validated SP graph -> live
+// Hinch Program (Fig. 1's XSPCL -> RTS path, done at load time instead
+// of through generated C++; codegen.hpp provides the generated-code
+// path).
+#pragma once
+
+#include <memory>
+
+#include "hinch/program.hpp"
+#include "sp/graph.hpp"
+#include "support/status.hpp"
+
+namespace xspcl {
+
+// Parse + elaborate + validate.
+support::Result<sp::NodePtr> load_string(std::string_view text);
+support::Result<sp::NodePtr> load_file(const std::string& path);
+
+// Parse + elaborate + validate + instantiate with the given registry.
+support::Result<std::unique_ptr<hinch::Program>> build_program(
+    std::string_view text, const hinch::ComponentRegistry& registry,
+    const hinch::Program::BuildConfig& config = {});
+support::Result<std::unique_ptr<hinch::Program>> build_program_from_file(
+    const std::string& path, const hinch::ComponentRegistry& registry,
+    const hinch::Program::BuildConfig& config = {});
+
+}  // namespace xspcl

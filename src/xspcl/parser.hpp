@@ -1,0 +1,24 @@
+// XML DOM -> XSPCL AST, with source positions in every diagnostic.
+//
+// Top-level `<include file="lib.xml"/>` tags merge the procedures of
+// another specification (relative paths resolve against the including
+// file; include cycles and duplicate procedure names are errors). This
+// is how reusable procedure libraries — e.g. specs/skeletons.xml — are
+// shared between applications (§2 item 5: XSPCL is extensible).
+#pragma once
+
+#include <string_view>
+
+#include "support/status.hpp"
+#include "xml/dom.hpp"
+#include "xspcl/ast.hpp"
+
+namespace xspcl {
+
+// `base_dir` resolves relative <include> paths ("." for in-memory text).
+support::Result<ast::Program> parse(const xml::Element& root,
+                                    const std::string& base_dir = ".");
+support::Result<ast::Program> parse_string(std::string_view text);
+support::Result<ast::Program> parse_file(const std::string& path);
+
+}  // namespace xspcl

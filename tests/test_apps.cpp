@@ -1,0 +1,270 @@
+// End-to-end application tests: the XSPCL versions of PiP, JPiP and Blur
+// produce bit-identical output to the hand-written sequential versions,
+// on both executors, at several core counts — plus shape checks on the
+// overheads the paper reports.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "components/components.hpp"
+#include "components/sinks.hpp"
+#include "hinch/runtime.hpp"
+#include "xspcl/loader.hpp"
+
+namespace {
+
+using apps::BlurConfig;
+using apps::JpipConfig;
+using apps::PipConfig;
+
+// Scaled-down configs keep the suite fast; the bench binaries run the
+// paper-sized ones.
+PipConfig small_pip(int pips) {
+  PipConfig c;
+  c.width = 128;
+  c.height = 96;
+  c.frames = 10;
+  c.pips = pips;
+  c.slices = 4;
+  c.clip_frames = 5;
+  return c;
+}
+
+JpipConfig small_jpip(int pips) {
+  JpipConfig c;
+  c.width = 128;
+  c.height = 96;
+  c.frames = 8;
+  c.pips = pips;
+  c.factor = 8;
+  c.slices = 4;
+  c.clip_frames = 4;
+  return c;
+}
+
+BlurConfig small_blur(int kernel) {
+  BlurConfig c;
+  c.width = 96;
+  c.height = 72;
+  c.frames = 10;
+  c.kernel = kernel;
+  c.slices = 4;
+  c.clip_frames = 5;
+  return c;
+}
+
+uint64_t sink_checksum(hinch::Program& prog) {
+  for (int i = 0; i < prog.component_count(); ++i) {
+    auto* sink =
+        dynamic_cast<const components::SinkAccess*>(&prog.component(i));
+    if (sink) return sink->sink().checksum();
+  }
+  ADD_FAILURE() << "no sink found";
+  return 0;
+}
+
+std::unique_ptr<hinch::Program> build(const std::string& spec) {
+  components::register_standard_globally();
+  auto prog =
+      xspcl::build_program(spec, hinch::ComponentRegistry::global());
+  EXPECT_TRUE(prog.is_ok()) << prog.status().to_string();
+  return prog.is_ok() ? std::move(prog).take() : nullptr;
+}
+
+uint64_t run_sim_checksum(hinch::Program& prog, int64_t iterations,
+                          int cores) {
+  hinch::RunConfig run;
+  run.iterations = iterations;
+  hinch::SimParams sim;
+  sim.cores = cores;
+  hinch::run_on_sim(prog, run, sim);
+  return sink_checksum(prog);
+}
+
+// --- PiP -------------------------------------------------------------------------
+
+TEST(PipApp, XspclMatchesSequentialAcrossCores) {
+  PipConfig config = small_pip(2);
+  apps::SeqResult seq = apps::run_pip_sequential(config);
+  EXPECT_EQ(seq.frames, config.frames);
+  EXPECT_GT(seq.cycles, 0u);
+
+  auto prog = build(apps::pip_xspcl(config));
+  ASSERT_TRUE(prog);
+  for (int cores : {1, 3}) {
+    EXPECT_EQ(run_sim_checksum(*prog, config.frames, cores), seq.checksum)
+        << cores << " cores";
+  }
+}
+
+TEST(PipApp, ThreadBackendMatchesToo) {
+  PipConfig config = small_pip(1);
+  apps::SeqResult seq = apps::run_pip_sequential(config);
+  auto prog = build(apps::pip_xspcl(config));
+  ASSERT_TRUE(prog);
+  hinch::RunConfig run;
+  run.iterations = config.frames;
+  hinch::run_on_threads(*prog, run, 4);
+  EXPECT_EQ(sink_checksum(*prog), seq.checksum);
+}
+
+TEST(PipApp, MorePipsCostMore) {
+  apps::SeqResult one = apps::run_pip_sequential(small_pip(1));
+  apps::SeqResult two = apps::run_pip_sequential(small_pip(2));
+  EXPECT_GT(two.cycles, one.cycles);
+  EXPECT_NE(one.checksum, two.checksum);
+}
+
+TEST(PipApp, SliceCountDoesNotChangeOutput) {
+  PipConfig base = small_pip(1);
+  apps::SeqResult seq = apps::run_pip_sequential(base);
+  for (int slices : {1, 2, 8}) {
+    PipConfig c = base;
+    c.slices = slices;
+    auto prog = build(apps::pip_xspcl(c));
+    ASSERT_TRUE(prog);
+    EXPECT_EQ(run_sim_checksum(*prog, c.frames, 2), seq.checksum)
+        << slices << " slices";
+  }
+}
+
+TEST(PipApp, ReconfigurableVariantRunsAndToggles) {
+  PipConfig config = small_pip(2);
+  config.reconfigurable = true;
+  config.toggle_period = 3;
+  auto prog = build(apps::pip_xspcl(config));
+  ASSERT_TRUE(prog);
+  hinch::RunConfig run;
+  run.iterations = config.frames;
+  hinch::SimParams sim;
+  sim.cores = 2;
+  hinch::SimResult r = hinch::run_on_sim(*prog, run, sim);
+  EXPECT_GE(r.sched.reconfigurations, 2u);
+  EXPECT_GT(r.sched.jobs_skipped, 0u);
+}
+
+// --- JPiP ------------------------------------------------------------------------
+
+TEST(JpipApp, XspclMatchesSequential) {
+  JpipConfig config = small_jpip(1);
+  apps::SeqResult seq = apps::run_jpip_sequential(config);
+  EXPECT_GT(seq.cycles, 0u);
+  auto prog = build(apps::jpip_xspcl(config));
+  ASSERT_TRUE(prog);
+  EXPECT_EQ(run_sim_checksum(*prog, config.frames, 1), seq.checksum);
+  EXPECT_EQ(run_sim_checksum(*prog, config.frames, 4), seq.checksum);
+}
+
+TEST(JpipApp, GroupedVariantProducesIdenticalOutput) {
+  // §4.1's fusion proposal must not change semantics, only scheduling.
+  JpipConfig config = small_jpip(1);
+  apps::SeqResult seq = apps::run_jpip_sequential(config);
+  JpipConfig grouped = config;
+  grouped.grouped = true;
+  auto prog = build(apps::jpip_xspcl(grouped));
+  ASSERT_TRUE(prog);
+  EXPECT_EQ(run_sim_checksum(*prog, config.frames, 1), seq.checksum);
+  EXPECT_EQ(run_sim_checksum(*prog, config.frames, 3), seq.checksum);
+}
+
+TEST(JpipApp, TwoPipsMatchSequential) {
+  JpipConfig config = small_jpip(2);
+  apps::SeqResult seq = apps::run_jpip_sequential(config);
+  auto prog = build(apps::jpip_xspcl(config));
+  ASSERT_TRUE(prog);
+  EXPECT_EQ(run_sim_checksum(*prog, config.frames, 2), seq.checksum);
+}
+
+TEST(JpipApp, ReconfigurableVariantRuns) {
+  JpipConfig config = small_jpip(2);
+  config.reconfigurable = true;
+  config.toggle_period = 2;
+  auto prog = build(apps::jpip_xspcl(config));
+  ASSERT_TRUE(prog);
+  hinch::RunConfig run;
+  run.iterations = config.frames;
+  hinch::SimParams sim;
+  sim.cores = 3;
+  hinch::SimResult r = hinch::run_on_sim(*prog, run, sim);
+  EXPECT_GE(r.sched.reconfigurations, 1u);
+}
+
+// --- Blur ------------------------------------------------------------------------
+
+class BlurKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlurKernelTest, XspclMatchesSequential) {
+  BlurConfig config = small_blur(GetParam());
+  apps::SeqResult seq = apps::run_blur_sequential(config);
+  auto prog = build(apps::blur_xspcl(config));
+  ASSERT_TRUE(prog);
+  EXPECT_EQ(run_sim_checksum(*prog, config.frames, 1), seq.checksum);
+  EXPECT_EQ(run_sim_checksum(*prog, config.frames, 4), seq.checksum);
+
+  hinch::RunConfig run;
+  run.iterations = config.frames;
+  hinch::run_on_threads(*prog, run, 3);
+  EXPECT_EQ(sink_checksum(*prog), seq.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, BlurKernelTest, ::testing::Values(3, 5));
+
+TEST(BlurApp, Kernel5CostsMoreThanKernel3) {
+  apps::SeqResult k3 = apps::run_blur_sequential(small_blur(3));
+  apps::SeqResult k5 = apps::run_blur_sequential(small_blur(5));
+  EXPECT_GT(k5.cycles, k3.cycles);
+  EXPECT_NE(k3.checksum, k5.checksum);
+}
+
+TEST(BlurApp, ReconfigurableSwitchesKernels) {
+  BlurConfig config = small_blur(3);
+  config.reconfigurable = true;
+  config.toggle_period = 3;
+  auto prog = build(apps::blur_xspcl(config));
+  ASSERT_TRUE(prog);
+  hinch::RunConfig run;
+  run.iterations = 12;
+  hinch::SimParams sim;
+  sim.cores = 2;
+  hinch::SimResult r = hinch::run_on_sim(*prog, run, sim);
+  EXPECT_GE(r.sched.reconfigurations, 3u);
+}
+
+// --- Fig. 8 shape: overhead ordering ---------------------------------------------
+
+TEST(OverheadShape, XspclOverheadOrdering) {
+  // XSPCL versions run the same kernels plus runtime work and extra
+  // intermediate-buffer traffic, so on one core they cost at least as
+  // much as the fused sequential versions; Blur (no fusion difference)
+  // stays close.
+  BlurConfig blur = small_blur(3);
+  apps::SeqResult blur_seq = apps::run_blur_sequential(blur);
+  auto blur_prog = build(apps::blur_xspcl(blur));
+  ASSERT_TRUE(blur_prog);
+  hinch::RunConfig run;
+  run.iterations = blur.frames;
+  hinch::SimParams sim;
+  sim.cores = 1;
+  uint64_t blur_xspcl = hinch::run_on_sim(*blur_prog, run, sim).total_cycles;
+  double blur_overhead =
+      static_cast<double>(blur_xspcl) / static_cast<double>(blur_seq.cycles) -
+      1.0;
+  EXPECT_GT(blur_overhead, -0.05);
+  EXPECT_LT(blur_overhead, 0.35);
+}
+
+// --- determinism across builds ----------------------------------------------------
+
+TEST(Apps, RebuildingProgramGivesSameCycles) {
+  PipConfig config = small_pip(1);
+  auto prog1 = build(apps::pip_xspcl(config));
+  auto prog2 = build(apps::pip_xspcl(config));
+  ASSERT_TRUE(prog1 && prog2);
+  hinch::RunConfig run;
+  run.iterations = config.frames;
+  hinch::SimParams sim;
+  sim.cores = 3;
+  EXPECT_EQ(hinch::run_on_sim(*prog1, run, sim).total_cycles,
+            hinch::run_on_sim(*prog2, run, sim).total_cycles);
+}
+
+}  // namespace

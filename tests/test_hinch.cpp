@@ -1,0 +1,560 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "components/components.hpp"
+#include "hinch/runtime.hpp"
+#include "sp/graph.hpp"
+
+namespace {
+
+using hinch::Component;
+using hinch::ComponentConfig;
+using hinch::ComponentRegistry;
+using hinch::ExecContext;
+using hinch::Packet;
+using hinch::Program;
+using hinch::RunConfig;
+using hinch::SimParams;
+using hinch::SimResult;
+using sp::NodePtr;
+using sp::ParShape;
+
+// Shared per-instance probe state, keyed by instance name.
+struct ProbeState {
+  int runs = 0;
+  int64_t last_iteration = -1;
+  int slice_index = 0;
+  int slice_count = 1;
+  std::string last_reconfig;
+  std::vector<int64_t> seen_values;  // consumer: payloads per iteration
+};
+
+class ProbeBoard {
+ public:
+  static ProbeBoard& get() {
+    static ProbeBoard board;
+    return board;
+  }
+  ProbeState& state(const std::string& instance) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return states_[instance];
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_.clear();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, ProbeState> states_;
+};
+
+// Emits the iteration number as payload; charges `cost` cycles.
+class Producer : public Component {
+ public:
+  static support::Result<std::unique_ptr<Component>> create(
+      const ComponentConfig& config) {
+    auto c = std::make_unique<Producer>();
+    c->cost_ = hinch::param_int_or(config.params, "cost", 100);
+    return support::Result<std::unique_ptr<Component>>(std::move(c));
+  }
+  Producer() : out_(declare_output("out")) {}
+
+  void run(ExecContext& ctx) override {
+    ctx.charge_compute(static_cast<uint64_t>(cost_));
+    ctx.write(out_, Packet::of(std::make_shared<int64_t>(ctx.iteration()),
+                               sizeof(int64_t)));
+    ProbeState& s = ProbeBoard::get().state(instance());
+    ++s.runs;
+    s.last_iteration = ctx.iteration();
+  }
+
+ private:
+  int out_;
+  int64_t cost_;
+};
+
+// Passes its input through, adding `add` to the payload.
+class Worker : public Component {
+ public:
+  static support::Result<std::unique_ptr<Component>> create(
+      const ComponentConfig& config) {
+    auto c = std::make_unique<Worker>();
+    c->cost_ = hinch::param_int_or(config.params, "cost", 100);
+    c->add_ = hinch::param_int_or(config.params, "add", 0);
+    return support::Result<std::unique_ptr<Component>>(std::move(c));
+  }
+  Worker() : in_(declare_input("in")), out_(declare_output("out")) {}
+
+  void run(ExecContext& ctx) override {
+    ctx.charge_compute(static_cast<uint64_t>(cost_));
+    auto v = ctx.read(in_).get<int64_t>();
+    ctx.write(out_, Packet::of(std::make_shared<int64_t>(*v + add_),
+                               sizeof(int64_t)));
+    ProbeState& s = ProbeBoard::get().state(instance());
+    ++s.runs;
+    s.slice_index = slice_index();
+    s.slice_count = slice_count();
+  }
+
+  void reconfigure(std::string_view request) override {
+    ProbeBoard::get().state(instance()).last_reconfig = std::string(request);
+  }
+
+ private:
+  int in_;
+  int out_;
+  int64_t cost_;
+  int64_t add_;
+};
+
+// Records the payload of every iteration.
+class Consumer : public Component {
+ public:
+  static support::Result<std::unique_ptr<Component>> create(
+      const ComponentConfig& config) {
+    auto c = std::make_unique<Consumer>();
+    c->cost_ = hinch::param_int_or(config.params, "cost", 50);
+    return support::Result<std::unique_ptr<Component>>(std::move(c));
+  }
+  Consumer() : in_(declare_input("in")) {}
+
+  void run(ExecContext& ctx) override {
+    ctx.charge_compute(static_cast<uint64_t>(cost_));
+    auto v = ctx.read(in_).get<int64_t>();
+    ProbeState& s = ProbeBoard::get().state(instance());
+    ++s.runs;
+    s.seen_values.push_back(*v);
+  }
+
+ private:
+  int in_;
+  int64_t cost_ = 50;
+};
+
+ComponentRegistry make_registry() {
+  ComponentRegistry reg;
+  components::register_standard(reg);
+  reg.register_class("probe_producer", &Producer::create);
+  reg.register_class("probe_worker", &Worker::create);
+  reg.register_class("probe_consumer", &Consumer::create);
+  return reg;
+}
+
+sp::LeafSpec leaf(const std::string& instance, const std::string& klass,
+                  std::vector<sp::PortBinding> ins,
+                  std::vector<sp::PortBinding> outs,
+                  std::vector<sp::Param> params = {}) {
+  sp::LeafSpec spec;
+  spec.instance = instance;
+  spec.klass = klass;
+  spec.inputs = std::move(ins);
+  spec.outputs = std::move(outs);
+  spec.params = std::move(params);
+  return spec;
+}
+
+// producer -> worker -> consumer; `balanced_cost`, when nonzero, gives
+// all three stages the same cost (the pipelining tests need a graph
+// whose sequential time is ~3x its steady-state pipelined interval).
+NodePtr chain_graph(int64_t worker_cost = 100, int64_t balanced_cost = 0) {
+  int64_t prod = balanced_cost ? balanced_cost : 100;
+  int64_t work = balanced_cost ? balanced_cost : worker_cost;
+  int64_t cons = balanced_cost ? balanced_cost : 50;
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(
+      leaf("prod", "probe_producer", {}, {{"out", "a"}},
+           {{"cost", std::to_string(prod)}})));
+  steps.push_back(sp::make_leaf(
+      leaf("work", "probe_worker", {{"in", "a"}}, {{"out", "b"}},
+           {{"cost", std::to_string(work)}, {"add", "0"}})));
+  steps.push_back(sp::make_leaf(
+      leaf("cons", "probe_consumer", {{"in", "b"}}, {},
+           {{"cost", std::to_string(cons)}})));
+  return sp::make_seq(std::move(steps));
+}
+
+class HinchTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ProbeBoard::get().clear(); }
+  ComponentRegistry registry_ = make_registry();
+};
+
+// --- Program::build ------------------------------------------------------------
+
+TEST_F(HinchTest, BuildRejectsUnknownClass) {
+  NodePtr g = sp::make_leaf(leaf("x", "no_such_class", {}, {}));
+  auto prog = Program::build(*g, registry_);
+  EXPECT_FALSE(prog.is_ok());
+  EXPECT_EQ(prog.status().code(), support::Code::kNotFound);
+}
+
+TEST_F(HinchTest, BuildRejectsUnknownPort) {
+  NodePtr g = sp::make_leaf(
+      leaf("x", "probe_producer", {}, {{"wrong_port", "s"}}));
+  auto prog = Program::build(*g, registry_);
+  EXPECT_FALSE(prog.is_ok());
+  EXPECT_NE(prog.status().message().find("wrong_port"), std::string::npos);
+}
+
+TEST_F(HinchTest, BuildRejectsUnboundPort) {
+  NodePtr g = sp::make_leaf(leaf("x", "probe_producer", {}, {}));
+  auto prog = Program::build(*g, registry_);
+  EXPECT_FALSE(prog.is_ok());
+  EXPECT_EQ(prog.status().code(), support::Code::kFailedPrecondition);
+}
+
+TEST_F(HinchTest, BuildRejectsDuplicateParam) {
+  sp::LeafSpec spec = leaf("x", "probe_producer", {}, {{"out", "s"}});
+  spec.params = {{"cost", "1"}, {"cost", "2"}};
+  NodePtr g = sp::make_leaf(std::move(spec));
+  auto prog = Program::build(*g, registry_);
+  EXPECT_EQ(prog.status().code(), support::Code::kAlreadyExists);
+}
+
+TEST_F(HinchTest, BuildChainStructure) {
+  NodePtr g = chain_graph();
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+  EXPECT_EQ(prog.value()->tasks().size(), 3u);
+  EXPECT_EQ(prog.value()->component_count(), 3);
+  EXPECT_EQ(prog.value()->entry_tasks().size(), 1u);
+  EXPECT_NE(prog.value()->find_stream("a"), nullptr);
+  EXPECT_EQ(prog.value()->find_stream("zzz"), nullptr);
+}
+
+// --- execution ------------------------------------------------------------------
+
+TEST_F(HinchTest, ChainRunsAllIterationsInOrder) {
+  NodePtr g = chain_graph();
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig run;
+  run.iterations = 12;
+  SimResult r = hinch::run_on_sim(*prog.value(), run, SimParams{});
+  EXPECT_GT(r.total_cycles, 0u);
+  ProbeState& cons = ProbeBoard::get().state("cons");
+  ASSERT_EQ(cons.runs, 12);
+  for (int64_t i = 0; i < 12; ++i) EXPECT_EQ(cons.seen_values[i], i);
+}
+
+TEST_F(HinchTest, SimIsDeterministic) {
+  NodePtr g = chain_graph();
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig run;
+  run.iterations = 20;
+  SimParams sim;
+  sim.cores = 3;
+  SimResult a = hinch::run_on_sim(*prog.value(), run, sim);
+  ProbeBoard::get().clear();
+  SimResult b = hinch::run_on_sim(*prog.value(), run, sim);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.mem.stall_cycles, b.mem.stall_cycles);
+}
+
+TEST_F(HinchTest, PipeliningOverlapsIterations) {
+  // With 3 stages of equal cost and >= 3 cores, pipelining should push
+  // throughput toward one stage-cost per iteration rather than three.
+  NodePtr g = chain_graph(0, 1000);
+  auto prog = Program::build(*g, registry_,
+                             hinch::BuildConfig{.stream_depth = 5});
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig run;
+  run.iterations = 50;
+  SimParams one;
+  one.cores = 1;
+  one.sync_costs = false;
+  SimParams three;
+  three.cores = 3;
+  three.sync_costs = false;
+  uint64_t t1 = hinch::run_on_sim(*prog.value(), run, one).total_cycles;
+  ProbeBoard::get().clear();
+  uint64_t t3 = hinch::run_on_sim(*prog.value(), run, three).total_cycles;
+  EXPECT_LT(t3, t1);
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t3), 2.2);
+}
+
+TEST_F(HinchTest, WindowOneDisablesPipelining) {
+  NodePtr g = chain_graph(0, 1000);
+  auto prog = Program::build(*g, registry_,
+                             hinch::BuildConfig{.stream_depth = 5});
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig narrow;
+  narrow.iterations = 20;
+  narrow.window = 1;
+  RunConfig wide;
+  wide.iterations = 20;
+  wide.window = 5;
+  SimParams sim;
+  sim.cores = 3;
+  uint64_t t_narrow =
+      hinch::run_on_sim(*prog.value(), narrow, sim).total_cycles;
+  ProbeBoard::get().clear();
+  uint64_t t_wide = hinch::run_on_sim(*prog.value(), wide, sim).total_cycles;
+  EXPECT_LT(t_wide, t_narrow);
+}
+
+TEST_F(HinchTest, WindowClampedToStreamDepth) {
+  NodePtr g = chain_graph();
+  auto prog = Program::build(*g, registry_,
+                             hinch::BuildConfig{.stream_depth = 2});
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig run;
+  run.iterations = 10;
+  run.window = 50;  // would corrupt stream slots if not clamped
+  SimResult r = hinch::run_on_sim(*prog.value(), run, SimParams{});
+  ProbeState& cons = ProbeBoard::get().state("cons");
+  EXPECT_EQ(cons.runs, 10);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(cons.seen_values[i], i);
+  EXPECT_GT(r.total_cycles, 0u);
+}
+
+TEST_F(HinchTest, ZeroIterationsFinishImmediately) {
+  NodePtr g = chain_graph();
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig run;
+  run.iterations = 0;
+  SimResult r = hinch::run_on_sim(*prog.value(), run, SimParams{});
+  EXPECT_EQ(r.total_cycles, 0u);
+  EXPECT_EQ(r.jobs, 0u);
+}
+
+TEST_F(HinchTest, TaskParallelChainsOverlap) {
+  // Two independent chains; 2 cores should nearly halve the makespan.
+  std::vector<NodePtr> blocks;
+  for (int i = 0; i < 2; ++i) {
+    std::vector<NodePtr> steps;
+    std::string suffix = std::to_string(i);
+    steps.push_back(sp::make_leaf(leaf("prod" + suffix, "probe_producer", {},
+                                       {{"out", "a" + suffix}},
+                                       {{"cost", "2000"}})));
+    steps.push_back(sp::make_leaf(leaf("cons" + suffix, "probe_consumer",
+                                       {{"in", "a" + suffix}}, {})));
+    blocks.push_back(sp::make_seq(std::move(steps)));
+  }
+  NodePtr g = sp::make_par(ParShape::kTask, 1, std::move(blocks));
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig run;
+  run.iterations = 10;
+  run.window = 1;  // isolate task parallelism from pipelining
+  SimParams one;
+  one.cores = 1;
+  one.sync_costs = false;
+  SimParams two;
+  two.cores = 2;
+  two.sync_costs = false;
+  uint64_t t1 = hinch::run_on_sim(*prog.value(), run, one).total_cycles;
+  ProbeBoard::get().clear();
+  uint64_t t2 = hinch::run_on_sim(*prog.value(), run, two).total_cycles;
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t2), 1.7);
+}
+
+// --- slices ---------------------------------------------------------------------
+
+TEST_F(HinchTest, SliceCreatesCopiesWithPositions) {
+  std::vector<NodePtr> block;
+  block.push_back(sp::make_leaf(
+      leaf("work", "probe_worker", {{"in", "a"}}, {{"out", "b"}})));
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("prod", "probe_producer", {},
+                                     {{"out", "a"}})));
+  std::vector<NodePtr> one;
+  one.push_back(sp::make_seq(std::move(block)));
+  steps.push_back(sp::make_par(ParShape::kSlice, 4, std::move(one)));
+  steps.push_back(sp::make_leaf(leaf("cons", "probe_consumer",
+                                     {{"in", "b"}}, {})));
+  NodePtr g = sp::make_seq(std::move(steps));
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+  // prod + 4 worker copies + cons.
+  EXPECT_EQ(prog.value()->component_count(), 6);
+
+  RunConfig run;
+  run.iterations = 6;
+  hinch::run_on_sim(*prog.value(), run, SimParams{});
+  for (int i = 0; i < 4; ++i) {
+    ProbeState& s = ProbeBoard::get().state("work#" + std::to_string(i));
+    EXPECT_EQ(s.runs, 6);
+    EXPECT_EQ(s.slice_index, i);
+    EXPECT_EQ(s.slice_count, 4);
+    // Slice assignment is delivered through the reconfiguration
+    // interface (§3.1/§3.3).
+    EXPECT_EQ(s.last_reconfig,
+              "slice=" + std::to_string(i) + "/4");
+  }
+}
+
+// --- crossdep --------------------------------------------------------------------
+
+TEST_F(HinchTest, CrossdepWiresNeighbourDependencies) {
+  std::vector<NodePtr> blocks;
+  blocks.push_back(sp::make_leaf(
+      leaf("h", "probe_worker", {{"in", "a"}}, {{"out", "t"}})));
+  blocks.push_back(sp::make_leaf(
+      leaf("v", "probe_worker", {{"in", "t"}}, {{"out", "b"}})));
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("prod", "probe_producer", {},
+                                     {{"out", "a"}})));
+  steps.push_back(sp::make_par(ParShape::kCrossDep, 4, std::move(blocks)));
+  steps.push_back(sp::make_leaf(leaf("cons", "probe_consumer",
+                                     {{"in", "b"}}, {})));
+  NodePtr g = sp::make_seq(std::move(steps));
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+
+  // Find the task of v-copy 1 (depends on h copies 0, 1, 2) and v-copy 0
+  // (depends on h copies 0, 1 only, plus nothing else).
+  std::map<std::string, const hinch::Task*> by_label;
+  for (const hinch::Task& t : prog.value()->tasks())
+    by_label[t.label] = &t;
+  ASSERT_TRUE(by_label.count("v#1.1"));
+  EXPECT_EQ(by_label["v#1.1"]->preds.size(), 3u);
+  ASSERT_TRUE(by_label.count("v#1.0"));
+  EXPECT_EQ(by_label["v#1.0"]->preds.size(), 2u);
+  ASSERT_TRUE(by_label.count("v#1.3"));
+  EXPECT_EQ(by_label["v#1.3"]->preds.size(), 2u);
+  // h copies depend only on the producer.
+  ASSERT_TRUE(by_label.count("h#0.2"));
+  EXPECT_EQ(by_label["h#0.2"]->preds.size(), 1u);
+
+  RunConfig run;
+  run.iterations = 5;
+  hinch::run_on_sim(*prog.value(), run, SimParams{});
+  EXPECT_EQ(ProbeBoard::get().state("cons").runs, 5);
+}
+
+// --- groups (§4.1 fusion extension) ----------------------------------------------
+
+TEST_F(HinchTest, GroupRunsComponentsInOneJob) {
+  // producer -> group(worker1 -> worker2) -> consumer: 4 components but
+  // only 3 tasks, and the group's two workers run back to back.
+  std::vector<NodePtr> grouped;
+  grouped.push_back(sp::make_leaf(
+      leaf("w1", "probe_worker", {{"in", "a"}}, {{"out", "b"}},
+           {{"add", "10"}})));
+  grouped.push_back(sp::make_leaf(
+      leaf("w2", "probe_worker", {{"in", "b"}}, {{"out", "c"}},
+           {{"add", "100"}})));
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("prod", "probe_producer", {},
+                                     {{"out", "a"}})));
+  steps.push_back(sp::make_group(std::move(grouped)));
+  steps.push_back(sp::make_leaf(leaf("cons", "probe_consumer",
+                                     {{"in", "c"}}, {})));
+  NodePtr g = sp::make_seq(std::move(steps));
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+  EXPECT_EQ(prog.value()->component_count(), 4);
+  EXPECT_EQ(prog.value()->tasks().size(), 3u);
+
+  RunConfig run;
+  run.iterations = 8;
+  SimResult r = hinch::run_on_sim(*prog.value(), run, SimParams{});
+  EXPECT_EQ(r.jobs, 24u);  // 3 tasks x 8 iterations
+  ProbeState& cons = ProbeBoard::get().state("cons");
+  ASSERT_EQ(cons.runs, 8);
+  for (int64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(cons.seen_values[i], i + 110);  // both workers applied
+}
+
+TEST_F(HinchTest, GroupInsideSliceReplicates) {
+  std::vector<NodePtr> grouped;
+  grouped.push_back(sp::make_leaf(
+      leaf("w1", "probe_worker", {{"in", "a"}}, {{"out", "b"}})));
+  grouped.push_back(sp::make_leaf(
+      leaf("w2", "probe_worker", {{"in", "b"}}, {{"out", "c"}})));
+  std::vector<NodePtr> one;
+  one.push_back(sp::make_group(std::move(grouped)));
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("prod", "probe_producer", {},
+                                     {{"out", "a"}})));
+  steps.push_back(sp::make_par(ParShape::kSlice, 3, std::move(one)));
+  steps.push_back(sp::make_leaf(leaf("cons", "probe_consumer",
+                                     {{"in", "c"}}, {})));
+  NodePtr g = sp::make_seq(std::move(steps));
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+  // prod + 3 x (w1, w2) + cons components; prod + 3 group tasks + cons.
+  EXPECT_EQ(prog.value()->component_count(), 8);
+  EXPECT_EQ(prog.value()->tasks().size(), 5u);
+  RunConfig run;
+  run.iterations = 4;
+  hinch::run_on_sim(*prog.value(), run, SimParams{});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ProbeBoard::get().state("w1#" + std::to_string(i)).runs, 4);
+    EXPECT_EQ(ProbeBoard::get().state("w2#" + std::to_string(i)).runs, 4);
+  }
+}
+
+// --- thread executor ---------------------------------------------------------------
+
+class ThreadWorkerCountTest : public HinchTest,
+                              public ::testing::WithParamInterface<int> {};
+
+TEST_P(ThreadWorkerCountTest, ProducesSameResults) {
+  NodePtr g = chain_graph();
+  auto prog = Program::build(*g, registry_);
+  ASSERT_TRUE(prog.is_ok());
+  RunConfig run;
+  run.iterations = 25;
+  hinch::ThreadResult r =
+      hinch::run_on_threads(*prog.value(), run, GetParam());
+  EXPECT_EQ(r.jobs, 75u);
+  ProbeState& cons = ProbeBoard::get().state("cons");
+  ASSERT_EQ(cons.runs, 25);
+  for (int64_t i = 0; i < 25; ++i) EXPECT_EQ(cons.seen_values[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ThreadWorkerCountTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --- events ----------------------------------------------------------------------
+
+TEST_F(HinchTest, EventQueuesDeliverInOrder) {
+  hinch::EventQueue q("test");
+  EXPECT_TRUE(q.empty());
+  q.push({"a", "1"});
+  q.push({"b", "2"});
+  EXPECT_EQ(q.size(), 2u);
+  auto e1 = q.poll();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->name, "a");
+  auto e2 = q.poll();
+  EXPECT_EQ(e2->payload, "2");
+  EXPECT_FALSE(q.poll().has_value());
+}
+
+TEST_F(HinchTest, QueueRegistryCreatesOnDemand) {
+  hinch::EventQueueRegistry reg;
+  EXPECT_EQ(reg.find("x"), nullptr);
+  hinch::EventQueue& q = reg.get_or_create("x");
+  EXPECT_EQ(reg.find("x"), &q);
+  EXPECT_EQ(&reg.get_or_create("x"), &q);
+  EXPECT_EQ(reg.names().size(), 1u);
+}
+
+TEST_F(HinchTest, SlicedRowPartitionCoversExactly) {
+  for (int rows : {1, 7, 45, 288}) {
+    for (int slices : {1, 2, 8, 9, 45}) {
+      int covered = 0;
+      int prev_end = 0;
+      for (int s = 0; s < slices; ++s) {
+        int r0 = 0, r1 = 0;
+        hinch::slice_rows(rows, s, slices, &r0, &r1);
+        EXPECT_EQ(r0, prev_end);
+        EXPECT_GE(r1, r0);
+        covered += r1 - r0;
+        prev_end = r1;
+      }
+      EXPECT_EQ(covered, rows) << rows << "/" << slices;
+    }
+  }
+}
+
+}  // namespace

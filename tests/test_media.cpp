@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "media/frame.hpp"
+#include "media/kernels.hpp"
+#include "media/metrics.hpp"
+#include "media/mjpeg.hpp"
+#include "media/synth.hpp"
+#include "media/y4m.hpp"
+
+namespace {
+
+using media::ConstPlaneView;
+using media::Frame;
+using media::FramePtr;
+using media::PixelFormat;
+
+TEST(Frame, PlaneLayout420) {
+  Frame f(PixelFormat::kYuv420, 64, 48);
+  EXPECT_EQ(f.planes(), 3);
+  EXPECT_EQ(f.plane(0).width, 64);
+  EXPECT_EQ(f.plane(0).height, 48);
+  EXPECT_EQ(f.plane(1).width, 32);
+  EXPECT_EQ(f.plane(1).height, 24);
+  EXPECT_EQ(f.bytes(), 64u * 48 + 2 * 32 * 24);
+  EXPECT_EQ(f.plane_offset(0), 0u);
+  EXPECT_EQ(f.plane_offset(1), 64u * 48);
+  EXPECT_EQ(f.plane_offset(2), 64u * 48 + 32 * 24);
+}
+
+TEST(Frame, OddDimensions420RoundUpChroma) {
+  Frame f(PixelFormat::kYuv420, 65, 47);
+  EXPECT_EQ(f.plane(1).width, 33);
+  EXPECT_EQ(f.plane(1).height, 24);
+}
+
+TEST(Frame, GrayAnd444) {
+  Frame g(PixelFormat::kGray, 10, 10);
+  EXPECT_EQ(g.planes(), 1);
+  EXPECT_EQ(g.bytes(), 100u);
+  Frame f(PixelFormat::kYuv444, 10, 10);
+  EXPECT_EQ(f.planes(), 3);
+  EXPECT_EQ(f.bytes(), 300u);
+}
+
+TEST(Frame, FillEqualsClone) {
+  Frame f(PixelFormat::kYuv420, 16, 16);
+  f.fill(77);
+  EXPECT_EQ(f.plane(2).row(3)[5], 77);
+  FramePtr c = f.clone();
+  EXPECT_TRUE(f.equals(*c));
+  c->plane(0).row(0)[0] = 1;
+  EXPECT_FALSE(f.equals(*c));
+}
+
+TEST(Synth, DeterministicPerFrame) {
+  media::SynthSpec spec{.seed = 5, .width = 64, .height = 48};
+  FramePtr a = media::make_synth_frame(spec, 7);
+  FramePtr b = media::make_synth_frame(spec, 7);
+  EXPECT_TRUE(a->equals(*b));
+  FramePtr c = media::make_synth_frame(spec, 8);
+  EXPECT_FALSE(a->equals(*c));
+}
+
+TEST(Synth, SeedsProduceDifferentClips) {
+  media::SynthSpec a{.seed = 1, .width = 64, .height = 48};
+  media::SynthSpec b{.seed = 2, .width = 64, .height = 48};
+  EXPECT_FALSE(
+      media::make_synth_frame(a, 0)->equals(*media::make_synth_frame(b, 0)));
+}
+
+// --- kernels -----------------------------------------------------------------
+
+TEST(Kernels, CopyPlaneRows) {
+  Frame src(PixelFormat::kGray, 8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      src.plane(0).row(y)[x] = static_cast<uint8_t>(y * 8 + x);
+  Frame dst(PixelFormat::kGray, 8, 8);
+  dst.fill(0);
+  media::copy_plane(src.plane(0), dst.plane(0), 2, 5);
+  EXPECT_EQ(dst.plane(0).row(1)[0], 0);  // outside the band
+  EXPECT_EQ(dst.plane(0).row(2)[3], src.plane(0).row(2)[3]);
+  EXPECT_EQ(dst.plane(0).row(4)[7], src.plane(0).row(4)[7]);
+  EXPECT_EQ(dst.plane(0).row(5)[0], 0);
+}
+
+TEST(Kernels, DownscaleAveragesBoxes) {
+  Frame src(PixelFormat::kGray, 4, 4);
+  // One 2x2 box of {0, 10, 20, 30} -> avg 15; others constant.
+  src.fill(100);
+  src.plane(0).row(0)[0] = 0;
+  src.plane(0).row(0)[1] = 10;
+  src.plane(0).row(1)[0] = 20;
+  src.plane(0).row(1)[1] = 30;
+  Frame dst(PixelFormat::kGray, 2, 2);
+  media::downscale_box(src.plane(0), dst.plane(0), 2, 0, 2);
+  EXPECT_EQ(dst.plane(0).row(0)[0], 15);
+  EXPECT_EQ(dst.plane(0).row(0)[1], 100);
+  EXPECT_EQ(dst.plane(0).row(1)[1], 100);
+}
+
+TEST(Kernels, DownscaleFactor1IsCopy) {
+  media::SynthSpec spec{.seed = 3, .width = 32, .height = 32,
+                        .format = PixelFormat::kGray};
+  FramePtr src = media::make_synth_frame(spec, 0);
+  Frame dst(PixelFormat::kGray, 32, 32);
+  media::downscale_box(src->plane(0), dst.plane(0), 1, 0, 32);
+  EXPECT_TRUE(src->equals(dst));
+}
+
+TEST(Kernels, BlendOpaqueOverwrites) {
+  Frame fg(PixelFormat::kGray, 4, 4);
+  fg.fill(200);
+  Frame bg(PixelFormat::kGray, 8, 8);
+  bg.fill(10);
+  media::blend(fg.plane(0), bg.plane(0), 2, 3, 256, 0, 8);
+  EXPECT_EQ(bg.plane(0).row(3)[2], 200);
+  EXPECT_EQ(bg.plane(0).row(6)[5], 200);
+  EXPECT_EQ(bg.plane(0).row(2)[2], 10);   // above the overlay
+  EXPECT_EQ(bg.plane(0).row(3)[1], 10);   // left of the overlay
+  EXPECT_EQ(bg.plane(0).row(7)[2], 10);   // below the overlay
+}
+
+TEST(Kernels, BlendAlphaZeroIsNoop) {
+  Frame fg(PixelFormat::kGray, 4, 4);
+  fg.fill(200);
+  Frame bg(PixelFormat::kGray, 8, 8);
+  bg.fill(10);
+  media::blend(fg.plane(0), bg.plane(0), 0, 0, 0, 0, 8);
+  EXPECT_EQ(bg.plane(0).row(0)[0], 10);
+}
+
+TEST(Kernels, BlendHalfAlphaMixes) {
+  Frame fg(PixelFormat::kGray, 1, 1);
+  fg.fill(200);
+  Frame bg(PixelFormat::kGray, 1, 1);
+  bg.fill(100);
+  media::blend(fg.plane(0), bg.plane(0), 0, 0, 128, 0, 1);
+  EXPECT_EQ(bg.plane(0).row(0)[0], 150);
+}
+
+TEST(Kernels, BlendClipsAtFrameEdges) {
+  Frame fg(PixelFormat::kGray, 4, 4);
+  fg.fill(200);
+  Frame bg(PixelFormat::kGray, 8, 8);
+  bg.fill(10);
+  media::blend(fg.plane(0), bg.plane(0), 6, 6, 256, 0, 8);  // hangs off
+  EXPECT_EQ(bg.plane(0).row(7)[7], 200);
+  EXPECT_EQ(bg.plane(0).row(5)[5], 10);
+}
+
+// Fused downscale+blend must be pixel-identical to the separate kernels
+// (the Fig. 8 comparison depends on both versions computing the same
+// output).
+class FusedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FusedEquivalenceTest, FusedMatchesSeparate) {
+  auto [factor, alpha] = GetParam();
+  media::SynthSpec spec{.seed = 17, .width = 64, .height = 48,
+                        .format = PixelFormat::kGray};
+  FramePtr src = media::make_synth_frame(spec, 2);
+  media::SynthSpec bg_spec{.seed = 18, .width = 40, .height = 36,
+                           .format = PixelFormat::kGray};
+  FramePtr bg1 = media::make_synth_frame(bg_spec, 0);
+  FramePtr bg2 = bg1->clone();
+
+  // Separate.
+  int sw = 64 / factor, sh = 48 / factor;
+  Frame small(PixelFormat::kGray, sw, sh);
+  media::downscale_box(src->plane(0), small.plane(0), factor, 0, sh);
+  media::blend(small.plane(0), bg1->plane(0), 5, 7, alpha, 0, 36);
+  // Fused.
+  media::downscale_blend(src->plane(0), bg2->plane(0), factor, 5, 7, alpha,
+                         0, 36);
+  EXPECT_TRUE(bg1->equals(*bg2))
+      << "factor=" << factor << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FusedEquivalenceTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(64, 128, 256)));
+
+TEST(Kernels, GaussianTapsSumTo256) {
+  for (int k : {3, 5}) {
+    const int16_t* taps = media::gaussian_taps(k);
+    int sum = 0;
+    for (int i = 0; i < k; ++i) sum += taps[i];
+    EXPECT_EQ(sum, 256) << "kernel " << k;
+  }
+}
+
+TEST(Kernels, BlurPreservesConstantImage) {
+  Frame src(PixelFormat::kGray, 16, 16);
+  src.fill(123);
+  Frame dst(PixelFormat::kGray, 16, 16);
+  for (int k : {3, 5}) {
+    media::blur_h(src.plane(0), dst.plane(0), k, 0, 16);
+    for (int y = 0; y < 16; ++y)
+      for (int x = 0; x < 16; ++x) EXPECT_EQ(dst.plane(0).row(y)[x], 123);
+    media::blur_v(src.plane(0), dst.plane(0), k, 0, 16);
+    for (int y = 0; y < 16; ++y)
+      for (int x = 0; x < 16; ++x) EXPECT_EQ(dst.plane(0).row(y)[x], 123);
+  }
+}
+
+TEST(Kernels, BlurSmoothsAnEdge) {
+  Frame src(PixelFormat::kGray, 16, 1);
+  for (int x = 0; x < 16; ++x)
+    src.plane(0).row(0)[x] = x < 8 ? 0 : 255;
+  Frame dst(PixelFormat::kGray, 16, 1);
+  media::blur_h(src.plane(0), dst.plane(0), 3, 0, 1);
+  EXPECT_EQ(dst.plane(0).row(0)[0], 0);
+  EXPECT_EQ(dst.plane(0).row(0)[15], 255);
+  // The edge pixels move toward the middle.
+  EXPECT_GT(dst.plane(0).row(0)[7], 0);
+  EXPECT_LT(dst.plane(0).row(0)[8], 255);
+  EXPECT_LT(dst.plane(0).row(0)[7], dst.plane(0).row(0)[8]);
+}
+
+// Sliced blur (any partition) equals whole-plane blur: the crossdep
+// correctness property.
+class SlicedBlurTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(SlicedBlurTest, SlicingIsTransparent) {
+  auto [kernel, slices] = GetParam();
+  media::SynthSpec spec{.seed = 9, .width = 48, .height = 36,
+                        .format = PixelFormat::kGray};
+  FramePtr src = media::make_synth_frame(spec, 1);
+  Frame whole(PixelFormat::kGray, 48, 36);
+  media::blur_v(src->plane(0), whole.plane(0), kernel, 0, 36);
+
+  Frame sliced(PixelFormat::kGray, 48, 36);
+  int row = 0;
+  for (int s = 0; s < slices; ++s) {
+    int rows = 36 / slices + (s < 36 % slices ? 1 : 0);
+    media::blur_v(src->plane(0), sliced.plane(0), kernel, row, row + rows);
+    row += rows;
+  }
+  EXPECT_TRUE(whole.equals(sliced));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SlicedBlurTest,
+                         ::testing::Combine(::testing::Values(3, 5),
+                                            ::testing::Values(1, 2, 5, 9,
+                                                              36)));
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(Metrics, PsnrIdenticalIsInfinite) {
+  media::SynthSpec spec{.seed = 4, .width = 32, .height = 32};
+  FramePtr a = media::make_synth_frame(spec, 0);
+  EXPECT_TRUE(std::isinf(media::psnr(*a, *a)));
+  EXPECT_EQ(media::max_abs_diff(*a, *a), 0);
+}
+
+TEST(Metrics, PsnrDropsWithNoise) {
+  media::SynthSpec spec{.seed = 4, .width = 32, .height = 32};
+  FramePtr a = media::make_synth_frame(spec, 0);
+  FramePtr b = a->clone();
+  b->plane(0).row(0)[0] = static_cast<uint8_t>(b->plane(0).row(0)[0] + 50);
+  double one_pixel = media::psnr(*a, *b);
+  EXPECT_GT(one_pixel, 40.0);
+  for (int x = 0; x < 32; ++x)
+    b->plane(0).row(1)[x] = static_cast<uint8_t>(b->plane(0).row(1)[x] + 50);
+  EXPECT_LT(media::psnr(*a, *b), one_pixel);
+  EXPECT_EQ(media::max_abs_diff(*a, *b), 50);
+}
+
+TEST(Metrics, FrameHashChainsAndDiscriminates) {
+  media::SynthSpec spec{.seed = 4, .width = 32, .height = 32};
+  FramePtr a = media::make_synth_frame(spec, 0);
+  FramePtr b = media::make_synth_frame(spec, 1);
+  uint64_t ha = media::frame_hash(*a);
+  EXPECT_EQ(ha, media::frame_hash(*a));
+  EXPECT_NE(ha, media::frame_hash(*b));
+  EXPECT_NE(media::frame_hash(*b, ha), media::frame_hash(*a, ha));
+}
+
+// --- containers ----------------------------------------------------------------
+
+TEST(RawVideo, SaveLoadRoundTrip) {
+  media::SynthSpec spec{.seed = 21, .width = 48, .height = 32};
+  media::RawVideo video = media::RawVideo::synthesize(spec, 5);
+  std::string path = ::testing::TempDir() + "/clip.rawv";
+  ASSERT_TRUE(video.save(path).is_ok());
+  auto loaded = media::RawVideo::load(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  ASSERT_EQ(loaded.value().frame_count(), 5);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(loaded.value().frame(i)->equals(*video.frame(i)));
+}
+
+TEST(RawVideo, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage.rawv";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a video";
+  }
+  EXPECT_FALSE(media::RawVideo::load(path).is_ok());
+}
+
+TEST(MjpegClip, SaveLoadRoundTrip) {
+  media::SynthSpec spec{.seed = 22, .width = 48, .height = 32};
+  media::RawVideo video = media::RawVideo::synthesize(spec, 3);
+  auto clip = media::MjpegClip::encode(video, 80);
+  ASSERT_TRUE(clip.is_ok()) << clip.status().to_string();
+  std::string path = ::testing::TempDir() + "/clip.mjpg";
+  ASSERT_TRUE(clip.value().save(path).is_ok());
+  auto loaded = media::MjpegClip::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  ASSERT_EQ(loaded.value().frame_count(), 3);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(loaded.value().frame(i), clip.value().frame(i));
+}
+
+TEST(Y4m, WritesParsableHeaderAndPayload) {
+  media::SynthSpec spec{.seed = 30, .width = 32, .height = 24};
+  media::RawVideo video = media::RawVideo::synthesize(spec, 3);
+  std::string path = ::testing::TempDir() + "/clip.y4m";
+  ASSERT_TRUE(media::save_y4m(video, path, 30, 1).is_ok());
+  std::ifstream f(path, std::ios::binary);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "YUV4MPEG2 W32 H24 F30:1 Ip A1:1 C420jpeg");
+  std::string frame_marker;
+  std::getline(f, frame_marker);
+  EXPECT_EQ(frame_marker, "FRAME");
+  // Payload size: header + 3 x (FRAME\n + frame bytes).
+  f.seekg(0, std::ios::end);
+  auto size = static_cast<size_t>(f.tellg());
+  EXPECT_EQ(size, header.size() + 1 + 3 * (6 + video.frame(0)->bytes()));
+}
+
+TEST(Y4m, GrayUsesMono) {
+  media::SynthSpec spec{.seed = 31, .width = 16, .height = 16,
+                        .format = PixelFormat::kGray};
+  media::RawVideo video = media::RawVideo::synthesize(spec, 1);
+  std::string path = ::testing::TempDir() + "/mono.y4m";
+  ASSERT_TRUE(media::save_y4m(video, path).is_ok());
+  std::ifstream f(path, std::ios::binary);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_NE(header.find("Cmono"), std::string::npos);
+}
+
+TEST(Y4m, Rejects444AndBadRate) {
+  media::RawVideo video(PixelFormat::kYuv444, 8, 8);
+  video.append(media::make_frame(PixelFormat::kYuv444, 8, 8));
+  EXPECT_FALSE(
+      media::save_y4m(video, ::testing::TempDir() + "/x.y4m").is_ok());
+  media::SynthSpec spec{.seed = 32, .width = 8, .height = 8};
+  media::RawVideo ok = media::RawVideo::synthesize(spec, 1);
+  EXPECT_FALSE(
+      media::save_y4m(ok, ::testing::TempDir() + "/y.y4m", 0, 1).is_ok());
+}
+
+}  // namespace

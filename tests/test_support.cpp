@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using support::Code;
+using support::Result;
+using support::Status;
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = support::invalid_argument("bad thing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(Status, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(support::not_found("x").code(), Code::kNotFound);
+  EXPECT_EQ(support::already_exists("x").code(), Code::kAlreadyExists);
+  EXPECT_EQ(support::failed_precondition("x").code(),
+            Code::kFailedPrecondition);
+  EXPECT_EQ(support::out_of_range("x").code(), Code::kOutOfRange);
+  EXPECT_EQ(support::unimplemented("x").code(), Code::kUnimplemented);
+  EXPECT_EQ(support::internal_error("x").code(), Code::kInternal);
+  EXPECT_EQ(support::io_error("x").code(), Code::kIo);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(support::not_found("gone"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Code::kNotFound);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).take();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(Result, MacroPropagatesError) {
+  auto inner = []() -> Result<int> {
+    return support::invalid_argument("inner");
+  };
+  auto outer = [&]() -> Status {
+    SUP_ASSIGN_OR_RETURN(int v, inner());
+    (void)v;
+    return Status::ok();
+  };
+  EXPECT_EQ(outer().code(), Code::kInvalidArgument);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(support::trim("  abc \n"), "abc");
+  EXPECT_EQ(support::trim(""), "");
+  EXPECT_EQ(support::trim("   "), "");
+  EXPECT_EQ(support::trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  auto parts = support::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(support::split("", ',').size(), 1u);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(support::starts_with("pos=1,2", "pos="));
+  EXPECT_FALSE(support::starts_with("po", "pos="));
+  EXPECT_TRUE(support::ends_with("file.xml", ".xml"));
+  EXPECT_FALSE(support::ends_with(".xml", "file.xml"));
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(support::parse_int("42").value(), 42);
+  EXPECT_EQ(support::parse_int(" -7 ").value(), -7);
+  EXPECT_FALSE(support::parse_int("").is_ok());
+  EXPECT_FALSE(support::parse_int("12x").is_ok());
+  EXPECT_FALSE(support::parse_int("4.5").is_ok());
+  EXPECT_FALSE(support::parse_int("999999999999999999999999").is_ok());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(support::parse_double("2.5").value(), 2.5);
+  EXPECT_FALSE(support::parse_double("abc").is_ok());
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(support::is_identifier("abc_1"));
+  EXPECT_TRUE(support::is_identifier("_x"));
+  EXPECT_TRUE(support::is_identifier("a.b-c"));
+  EXPECT_FALSE(support::is_identifier(""));
+  EXPECT_FALSE(support::is_identifier("1abc"));
+  EXPECT_FALSE(support::is_identifier("a b"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(support::format("x=%d y=%s", 3, "hi"), "x=3 y=hi");
+  EXPECT_EQ(support::format("%s", ""), "");
+}
+
+TEST(Rng, Deterministic) {
+  support::SplitMix64 a(123);
+  support::SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  support::SplitMix64 a(1);
+  support::SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+class RngRangeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RngRangeTest, NextRangeStaysInBounds) {
+  support::SplitMix64 rng(static_cast<uint64_t>(GetParam()) + 7);
+  int64_t lo = -GetParam();
+  int64_t hi = GetParam();
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.next_range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values(1, 3, 10, 255, 1000));
+
+TEST(Rng, DoubleInUnitInterval) {
+  support::SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+xml::ElementPtr must_parse(std::string_view text) {
+  auto r = xml::parse(text);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return r.is_ok() ? std::move(r).take() : nullptr;
+}
+
+TEST(XmlParser, SimpleElement) {
+  auto root = must_parse("<a/>");
+  ASSERT_TRUE(root);
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_TRUE(root->children().empty());
+}
+
+TEST(XmlParser, AttributesBothQuoteStyles) {
+  auto root = must_parse(R"(<a x="1" y='two'/>)");
+  ASSERT_TRUE(root);
+  EXPECT_EQ(*root->find_attr("x"), "1");
+  EXPECT_EQ(*root->find_attr("y"), "two");
+  EXPECT_EQ(root->find_attr("z"), nullptr);
+}
+
+TEST(XmlParser, NestedChildren) {
+  auto root = must_parse("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(root);
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->name(), "b");
+  EXPECT_EQ(root->find_children("b").size(), 2u);
+  EXPECT_NE(root->find_child("b"), nullptr);
+  EXPECT_EQ(root->find_child("c"), nullptr);  // not a direct child
+}
+
+TEST(XmlParser, TextContent) {
+  auto root = must_parse("<a>hello world</a>");
+  ASSERT_TRUE(root);
+  EXPECT_EQ(root->text(), "hello world");
+}
+
+TEST(XmlParser, WhitespaceOnlyTextDropped) {
+  auto root = must_parse("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(root);
+  EXPECT_TRUE(root->text().empty());
+}
+
+TEST(XmlParser, Entities) {
+  auto root = must_parse("<a x=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&#x42;</a>");
+  ASSERT_TRUE(root);
+  EXPECT_EQ(*root->find_attr("x"), "<>&\"'");
+  EXPECT_EQ(root->text(), "AB");
+}
+
+TEST(XmlParser, Cdata) {
+  auto root = must_parse("<a><![CDATA[1 < 2 && 3 > 2]]></a>");
+  ASSERT_TRUE(root);
+  EXPECT_EQ(root->text(), "1 < 2 && 3 > 2");
+}
+
+TEST(XmlParser, CommentsAndDeclarationSkipped) {
+  auto root = must_parse(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>");
+  ASSERT_TRUE(root);
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(XmlParser, PositionsTracked) {
+  auto root = must_parse("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(root);
+  EXPECT_EQ(root->position().line, 1);
+  EXPECT_EQ(root->children()[0]->position().line, 2);
+  EXPECT_EQ(root->children()[0]->position().column, 3);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+};
+
+class XmlErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(XmlErrorTest, Rejected) {
+  auto r = xml::parse(GetParam().text);
+  EXPECT_FALSE(r.is_ok()) << "should reject: " << GetParam().text;
+  if (!r.is_ok()) {
+    EXPECT_NE(r.status().message().find("XML parse error"),
+              std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, XmlErrorTest,
+    ::testing::Values(
+        BadCase{"empty", ""}, BadCase{"text_only", "hello"},
+        BadCase{"unclosed", "<a>"}, BadCase{"mismatch", "<a></b>"},
+        BadCase{"two_roots", "<a/><b/>"},
+        BadCase{"content_after_root", "<a/>x"},
+        BadCase{"bad_attr", "<a x></a>"},
+        BadCase{"unquoted_attr", "<a x=1/>"},
+        BadCase{"dup_attr", "<a x=\"1\" x=\"2\"/>"},
+        BadCase{"unterminated_attr", "<a x=\"1/>"},
+        BadCase{"lt_in_attr", "<a x=\"<\"/>"},
+        BadCase{"bad_entity", "<a>&nope;</a>"},
+        BadCase{"unterminated_entity", "<a>&amp</a>"},
+        BadCase{"doctype", "<!DOCTYPE html><a/>"},
+        BadCase{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadCase{"non_ascii_charref", "<a>&#300;</a>"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      return info.param.name;
+    });
+
+TEST(XmlWriter, EscapesSpecials) {
+  EXPECT_EQ(xml::escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(xml::escape_attr("say \"hi\""), "say &quot;hi&quot;");
+}
+
+// Round-trip property: write(parse(x)) re-parses to an equivalent DOM.
+void expect_equivalent(const xml::Element& a, const xml::Element& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.attributes().size(), b.attributes().size());
+  for (const xml::Attribute& attr : a.attributes()) {
+    const std::string* v = b.find_attr(attr.name);
+    ASSERT_NE(v, nullptr) << attr.name;
+    EXPECT_EQ(*v, attr.value);
+  }
+  ASSERT_EQ(a.children().size(), b.children().size());
+  for (size_t i = 0; i < a.children().size(); ++i)
+    expect_equivalent(*a.children()[i], *b.children()[i]);
+}
+
+class XmlRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTripTest, WriteParseIsIdentity) {
+  auto first = must_parse(GetParam());
+  ASSERT_TRUE(first);
+  std::string text = xml::write(*first);
+  auto second = must_parse(text);
+  ASSERT_TRUE(second) << text;
+  expect_equivalent(*first, *second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, XmlRoundTripTest,
+    ::testing::Values(
+        "<a/>", "<a x=\"1\"/>", "<a><b/><c d='e&amp;f'/></a>",
+        "<x><y z=\"&quot;&lt;\"><w/></y><y/></x>",
+        "<p a=\"1\" b=\"2\" c=\"3\"><q><r><s t=\"deep\"/></r></q></p>"));
+
+// Randomized round-trip: generate seeded random DOMs, write, re-parse,
+// compare structurally.
+namespace {
+
+xml::ElementPtr random_element(support::SplitMix64& rng, int depth) {
+  static const char* kNames[] = {"a", "b", "node", "x_y", "tag.1"};
+  static const char* kValues[] = {"",       "1",      "hello world",
+                                  "<&>\"'", "  pad  ", "a=b,c=d"};
+  auto e = std::make_unique<xml::Element>(
+      kNames[rng.next_below(std::size(kNames))]);
+  int attrs = static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < attrs; ++i) {
+    e->set_attr("k" + std::to_string(i),
+                kValues[rng.next_below(std::size(kValues))]);
+  }
+  if (depth > 0) {
+    int kids = static_cast<int>(rng.next_below(4));
+    for (int i = 0; i < kids; ++i)
+      e->adopt_child(random_element(rng, depth - 1));
+  }
+  if (e->children().empty() && rng.next_below(2) == 0)
+    e->append_text(kValues[1 + rng.next_below(std::size(kValues) - 1)]);
+  return e;
+}
+
+}  // namespace
+
+class XmlRandomRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRandomRoundTripTest, WriteParseIsIdentity) {
+  support::SplitMix64 rng(GetParam());
+  xml::ElementPtr original = random_element(rng, 4);
+  std::string text = xml::write(*original);
+  auto parsed = xml::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string() << "\n" << text;
+  expect_equivalent(*original, *parsed.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRandomRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(XmlDom, CloneIsDeep) {
+  auto root = must_parse("<a x=\"1\"><b/></a>");
+  ASSERT_TRUE(root);
+  xml::ElementPtr copy = root->clone();
+  copy->set_attr("x", "2");
+  copy->add_child("c");
+  EXPECT_EQ(*root->find_attr("x"), "1");
+  EXPECT_EQ(root->children().size(), 1u);
+  EXPECT_EQ(copy->children().size(), 2u);
+}
+
+TEST(XmlDom, RequireAttrDiagnostics) {
+  auto root = must_parse("<a/>");
+  auto r = root->require_attr("missing");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("missing"), std::string::npos);
+}
+
+TEST(XmlParser, ParseFileMissing) {
+  auto r = xml::parse_file("/nonexistent/path.xml");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), support::Code::kIo);
+}
+
+}  // namespace

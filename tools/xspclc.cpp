@@ -1,0 +1,220 @@
+// xspclc — the XSPCL processing tool (the paper's "conversion tool from
+// XSPCL to an executable that uses the run time system", §3).
+//
+//   xspclc validate <spec.xml>            check the specification
+//   xspclc dot      <spec.xml> [-o f]     Graphviz of the source tree
+//   xspclc taskdot  <spec.xml> [-o f]     Graphviz of the compiled task
+//                                         DAG (slices expanded, groups
+//                                         fused)
+//   xspclc codegen  <spec.xml> --name N [-o f] [--no-main]
+//                                         emit C++ glue code
+//   xspclc run      <spec.xml> [--backend=sim|threads] [--cores=N]
+//                   [--iterations=N]      load and execute directly
+//   xspclc predict  <spec.xml> [--cores=N] [--iterations=N]
+//                                         profile 1 core, predict speedup
+//   xspclc emit-app <pip|jpip|blur> [--reconfigurable] [-o f]
+//                                         dump a built-in application spec
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "components/components.hpp"
+#include "hinch/runtime.hpp"
+#include "perf/predict.hpp"
+#include "sp/dot.hpp"
+#include "sp/validate.hpp"
+#include "xspcl/codegen.hpp"
+#include "xspcl/loader.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xspclc <validate|dot|taskdot|codegen|run|predict|emit-app> "
+               "...\n(see the header of tools/xspclc.cpp)\n");
+  return 2;
+}
+
+struct Args {
+  std::string command;
+  std::string input;
+  std::string output;
+  std::string name = "app";
+  std::string backend = "sim";
+  int cores = 1;
+  long long iterations = 32;
+  bool emit_main = true;
+  bool reconfigurable = false;
+};
+
+bool parse_args(int argc, char** argv, Args* args) {
+  if (argc < 3) return false;
+  args->command = argv[1];
+  args->input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (a == "-o" && i + 1 < argc) {
+      args->output = argv[++i];
+    } else if (const char* v = value("--name=")) {
+      args->name = v;
+    } else if (const char* v = value("--backend=")) {
+      args->backend = v;
+    } else if (const char* v = value("--cores=")) {
+      args->cores = std::atoi(v);
+    } else if (const char* v = value("--iterations=")) {
+      args->iterations = std::atoll(v);
+    } else if (a == "--no-main") {
+      args->emit_main = false;
+    } else if (a == "--reconfigurable") {
+      args->reconfigurable = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int write_output(const Args& args, const std::string& text) {
+  if (args.output.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream f(args.output);
+  f << text;
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", args.output.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int fail(const support::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage();
+
+  if (args.command == "emit-app") {
+    std::string text;
+    if (args.input == "pip") {
+      apps::PipConfig c;
+      if (args.reconfigurable) {
+        c.reconfigurable = true;
+        c.pips = 2;
+      }
+      text = apps::pip_xspcl(c);
+    } else if (args.input == "jpip") {
+      apps::JpipConfig c;
+      if (args.reconfigurable) {
+        c.reconfigurable = true;
+        c.pips = 2;
+      }
+      text = apps::jpip_xspcl(c);
+    } else if (args.input == "blur") {
+      apps::BlurConfig c;
+      c.reconfigurable = args.reconfigurable;
+      text = apps::blur_xspcl(c);
+    } else {
+      std::fprintf(stderr, "unknown app '%s' (pip, jpip, blur)\n",
+                   args.input.c_str());
+      return 2;
+    }
+    return write_output(args, text);
+  }
+
+  auto graph = xspcl::load_file(args.input);
+  if (!graph.is_ok()) return fail(graph.status());
+  const sp::Node& root = *graph.value();
+
+  if (args.command == "validate") {
+    sp::GraphStats stats = sp::stats(root);
+    std::printf(
+        "OK: %d components (%d after data-parallel expansion), %d parallel "
+        "regions, %d options, %d managers, %s form\n",
+        stats.leaves, stats.expanded_leaves, stats.par_nodes, stats.options,
+        stats.managers, sp::is_sp_form(root) ? "SP" : "non-SP (crossdep)");
+    return 0;
+  }
+  if (args.command == "dot") {
+    return write_output(args, sp::to_dot(root, args.name));
+  }
+  if (args.command == "codegen") {
+    xspcl::CodegenOptions options;
+    options.app_name = args.name;
+    options.emit_main = args.emit_main;
+    options.default_iterations = args.iterations;
+    return write_output(args, xspcl::generate_cpp(root, options));
+  }
+
+  components::register_standard_globally();
+  auto prog =
+      hinch::Program::build(root, hinch::ComponentRegistry::global());
+  if (!prog.is_ok()) return fail(prog.status());
+  hinch::RunConfig run;
+  run.iterations = args.iterations;
+
+  if (args.command == "taskdot") {
+    return write_output(args, prog.value()->task_graph_dot(args.name));
+  }
+  if (args.command == "run") {
+    if (args.backend == "threads") {
+      hinch::ThreadResult r =
+          hinch::run_on_threads(*prog.value(), run, args.cores);
+      std::printf("backend=threads workers=%d iterations=%lld "
+                  "wall_seconds=%.6f jobs=%llu\n",
+                  args.cores, args.iterations, r.wall_seconds,
+                  static_cast<unsigned long long>(r.jobs));
+    } else {
+      hinch::SimParams sim;
+      sim.cores = args.cores;
+      hinch::SimResult r = hinch::run_on_sim(*prog.value(), run, sim);
+      std::printf(
+          "backend=sim cores=%d iterations=%lld cycles=%llu jobs=%llu "
+          "l1_hit_rate=%.3f reconfigs=%llu\n",
+          args.cores, args.iterations,
+          static_cast<unsigned long long>(r.total_cycles),
+          static_cast<unsigned long long>(r.jobs), r.mem.l1_hit_rate(),
+          static_cast<unsigned long long>(r.sched.reconfigurations));
+    }
+    return 0;
+  }
+  if (args.command == "predict") {
+    // Profile one iteration window on a single simulated core, then
+    // evaluate the SPC model for 1..cores processors.
+    hinch::SimParams sim;
+    sim.cores = 1;
+    hinch::RunConfig profile_run = run;
+    profile_run.iterations = std::min<long long>(args.iterations, 8);
+    hinch::SimResult profile =
+        hinch::run_on_sim(*prog.value(), profile_run, sim);
+    std::vector<double> cost(profile.task_cycles.size(), 0);
+    for (size_t i = 0; i < cost.size(); ++i) {
+      if (profile.task_runs[i])
+        cost[i] = static_cast<double>(profile.task_cycles[i]) /
+                  static_cast<double>(profile.task_runs[i]);
+    }
+    std::printf("processors predicted_cycles predicted_speedup\n");
+    perf::Prediction base =
+        perf::predict_from_profile(*prog.value(), cost, 1);
+    for (int p = 1; p <= std::max(1, args.cores); ++p) {
+      perf::Prediction pred =
+          perf::predict_from_profile(*prog.value(), cost, p);
+      std::printf("%10d %16.0f %17.2f\n", p, pred.total(args.iterations),
+                  base.total(args.iterations) / pred.total(args.iterations));
+    }
+    return 0;
+  }
+  return usage();
+}
