@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipeline_depth.dir/ablation_pipeline_depth.cpp.o"
+  "CMakeFiles/ablation_pipeline_depth.dir/ablation_pipeline_depth.cpp.o.d"
+  "ablation_pipeline_depth"
+  "ablation_pipeline_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_contention.dir/ablation_queue_contention.cpp.o"
+  "CMakeFiles/ablation_queue_contention.dir/ablation_queue_contention.cpp.o.d"
+  "ablation_queue_contention"
+  "ablation_queue_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

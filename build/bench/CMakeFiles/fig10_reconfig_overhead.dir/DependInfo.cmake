@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_reconfig_overhead.cpp" "bench/CMakeFiles/fig10_reconfig_overhead.dir/fig10_reconfig_overhead.cpp.o" "gcc" "bench/CMakeFiles/fig10_reconfig_overhead.dir/fig10_reconfig_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/xspcl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/xspcl_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/xspcl/CMakeFiles/xspcl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/xspcl_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xspcl_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hinch/CMakeFiles/xspcl_hinch.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/xspcl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xspcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/xspcl_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xspcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_demo.dir/pip_small_gen.cpp.o"
+  "CMakeFiles/codegen_demo.dir/pip_small_gen.cpp.o.d"
+  "codegen_demo"
+  "codegen_demo.pdb"
+  "pip_small_gen.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

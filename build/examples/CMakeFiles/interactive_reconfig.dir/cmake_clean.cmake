@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_reconfig.dir/interactive_reconfig.cpp.o"
+  "CMakeFiles/interactive_reconfig.dir/interactive_reconfig.cpp.o.d"
+  "interactive_reconfig"
+  "interactive_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pip_player.dir/pip_player.cpp.o"
+  "CMakeFiles/pip_player.dir/pip_player.cpp.o.d"
+  "pip_player"
+  "pip_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pip_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

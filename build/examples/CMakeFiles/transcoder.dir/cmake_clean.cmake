@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcoder.dir/transcoder.cpp.o"
+  "CMakeFiles/transcoder.dir/transcoder.cpp.o.d"
+  "transcoder"
+  "transcoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("xml")
+subdirs("media")
+subdirs("sp")
+subdirs("sim")
+subdirs("hinch")
+subdirs("components")
+subdirs("xspcl")
+subdirs("perf")
+subdirs("apps")

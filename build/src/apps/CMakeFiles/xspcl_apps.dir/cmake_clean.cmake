@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_apps.dir/blur.cpp.o"
+  "CMakeFiles/xspcl_apps.dir/blur.cpp.o.d"
+  "CMakeFiles/xspcl_apps.dir/jpip.cpp.o"
+  "CMakeFiles/xspcl_apps.dir/jpip.cpp.o.d"
+  "CMakeFiles/xspcl_apps.dir/pip.cpp.o"
+  "CMakeFiles/xspcl_apps.dir/pip.cpp.o.d"
+  "CMakeFiles/xspcl_apps.dir/seq_machine.cpp.o"
+  "CMakeFiles/xspcl_apps.dir/seq_machine.cpp.o.d"
+  "libxspcl_apps.a"
+  "libxspcl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

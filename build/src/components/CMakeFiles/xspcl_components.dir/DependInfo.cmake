@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/clip_cache.cpp" "src/components/CMakeFiles/xspcl_components.dir/clip_cache.cpp.o" "gcc" "src/components/CMakeFiles/xspcl_components.dir/clip_cache.cpp.o.d"
+  "/root/repo/src/components/events.cpp" "src/components/CMakeFiles/xspcl_components.dir/events.cpp.o" "gcc" "src/components/CMakeFiles/xspcl_components.dir/events.cpp.o.d"
+  "/root/repo/src/components/filters.cpp" "src/components/CMakeFiles/xspcl_components.dir/filters.cpp.o" "gcc" "src/components/CMakeFiles/xspcl_components.dir/filters.cpp.o.d"
+  "/root/repo/src/components/jpeg_stages.cpp" "src/components/CMakeFiles/xspcl_components.dir/jpeg_stages.cpp.o" "gcc" "src/components/CMakeFiles/xspcl_components.dir/jpeg_stages.cpp.o.d"
+  "/root/repo/src/components/register.cpp" "src/components/CMakeFiles/xspcl_components.dir/register.cpp.o" "gcc" "src/components/CMakeFiles/xspcl_components.dir/register.cpp.o.d"
+  "/root/repo/src/components/sinks.cpp" "src/components/CMakeFiles/xspcl_components.dir/sinks.cpp.o" "gcc" "src/components/CMakeFiles/xspcl_components.dir/sinks.cpp.o.d"
+  "/root/repo/src/components/sources.cpp" "src/components/CMakeFiles/xspcl_components.dir/sources.cpp.o" "gcc" "src/components/CMakeFiles/xspcl_components.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hinch/CMakeFiles/xspcl_hinch.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/xspcl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/xspcl_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xspcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xspcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

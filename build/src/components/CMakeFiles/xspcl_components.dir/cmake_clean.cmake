@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_components.dir/clip_cache.cpp.o"
+  "CMakeFiles/xspcl_components.dir/clip_cache.cpp.o.d"
+  "CMakeFiles/xspcl_components.dir/events.cpp.o"
+  "CMakeFiles/xspcl_components.dir/events.cpp.o.d"
+  "CMakeFiles/xspcl_components.dir/filters.cpp.o"
+  "CMakeFiles/xspcl_components.dir/filters.cpp.o.d"
+  "CMakeFiles/xspcl_components.dir/jpeg_stages.cpp.o"
+  "CMakeFiles/xspcl_components.dir/jpeg_stages.cpp.o.d"
+  "CMakeFiles/xspcl_components.dir/register.cpp.o"
+  "CMakeFiles/xspcl_components.dir/register.cpp.o.d"
+  "CMakeFiles/xspcl_components.dir/sinks.cpp.o"
+  "CMakeFiles/xspcl_components.dir/sinks.cpp.o.d"
+  "CMakeFiles/xspcl_components.dir/sources.cpp.o"
+  "CMakeFiles/xspcl_components.dir/sources.cpp.o.d"
+  "libxspcl_components.a"
+  "libxspcl_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hinch/component.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/component.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/component.cpp.o.d"
+  "/root/repo/src/hinch/event.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/event.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/event.cpp.o.d"
+  "/root/repo/src/hinch/program.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/program.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/program.cpp.o.d"
+  "/root/repo/src/hinch/registry.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/registry.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/registry.cpp.o.d"
+  "/root/repo/src/hinch/runtime.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/runtime.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/runtime.cpp.o.d"
+  "/root/repo/src/hinch/scheduler.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/scheduler.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/scheduler.cpp.o.d"
+  "/root/repo/src/hinch/sim_executor.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/sim_executor.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/hinch/stream.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/stream.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/stream.cpp.o.d"
+  "/root/repo/src/hinch/thread_executor.cpp" "src/hinch/CMakeFiles/xspcl_hinch.dir/thread_executor.cpp.o" "gcc" "src/hinch/CMakeFiles/xspcl_hinch.dir/thread_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/xspcl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/xspcl_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xspcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/xspcl_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_hinch.dir/component.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/component.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/event.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/event.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/program.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/program.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/registry.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/registry.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/runtime.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/runtime.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/scheduler.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/scheduler.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/sim_executor.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/stream.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/stream.cpp.o.d"
+  "CMakeFiles/xspcl_hinch.dir/thread_executor.cpp.o"
+  "CMakeFiles/xspcl_hinch.dir/thread_executor.cpp.o.d"
+  "libxspcl_hinch.a"
+  "libxspcl_hinch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_hinch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/frame.cpp" "src/media/CMakeFiles/xspcl_media.dir/frame.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/frame.cpp.o.d"
+  "/root/repo/src/media/jpeg_common.cpp" "src/media/CMakeFiles/xspcl_media.dir/jpeg_common.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/jpeg_common.cpp.o.d"
+  "/root/repo/src/media/jpeg_decode.cpp" "src/media/CMakeFiles/xspcl_media.dir/jpeg_decode.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/jpeg_decode.cpp.o.d"
+  "/root/repo/src/media/jpeg_encode.cpp" "src/media/CMakeFiles/xspcl_media.dir/jpeg_encode.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/jpeg_encode.cpp.o.d"
+  "/root/repo/src/media/kernels.cpp" "src/media/CMakeFiles/xspcl_media.dir/kernels.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/kernels.cpp.o.d"
+  "/root/repo/src/media/metrics.cpp" "src/media/CMakeFiles/xspcl_media.dir/metrics.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/metrics.cpp.o.d"
+  "/root/repo/src/media/mjpeg.cpp" "src/media/CMakeFiles/xspcl_media.dir/mjpeg.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/mjpeg.cpp.o.d"
+  "/root/repo/src/media/synth.cpp" "src/media/CMakeFiles/xspcl_media.dir/synth.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/synth.cpp.o.d"
+  "/root/repo/src/media/y4m.cpp" "src/media/CMakeFiles/xspcl_media.dir/y4m.cpp.o" "gcc" "src/media/CMakeFiles/xspcl_media.dir/y4m.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/xspcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

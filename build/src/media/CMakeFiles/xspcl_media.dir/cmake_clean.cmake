@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_media.dir/frame.cpp.o"
+  "CMakeFiles/xspcl_media.dir/frame.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/jpeg_common.cpp.o"
+  "CMakeFiles/xspcl_media.dir/jpeg_common.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/jpeg_decode.cpp.o"
+  "CMakeFiles/xspcl_media.dir/jpeg_decode.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/jpeg_encode.cpp.o"
+  "CMakeFiles/xspcl_media.dir/jpeg_encode.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/kernels.cpp.o"
+  "CMakeFiles/xspcl_media.dir/kernels.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/metrics.cpp.o"
+  "CMakeFiles/xspcl_media.dir/metrics.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/mjpeg.cpp.o"
+  "CMakeFiles/xspcl_media.dir/mjpeg.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/synth.cpp.o"
+  "CMakeFiles/xspcl_media.dir/synth.cpp.o.d"
+  "CMakeFiles/xspcl_media.dir/y4m.cpp.o"
+  "CMakeFiles/xspcl_media.dir/y4m.cpp.o.d"
+  "libxspcl_media.a"
+  "libxspcl_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

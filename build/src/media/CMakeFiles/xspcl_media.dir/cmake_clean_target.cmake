@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxspcl_media.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_perf.dir/predict.cpp.o"
+  "CMakeFiles/xspcl_perf.dir/predict.cpp.o.d"
+  "libxspcl_perf.a"
+  "libxspcl_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

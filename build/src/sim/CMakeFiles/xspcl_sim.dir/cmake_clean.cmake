@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_sim.dir/cache.cpp.o"
+  "CMakeFiles/xspcl_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/xspcl_sim.dir/engine.cpp.o"
+  "CMakeFiles/xspcl_sim.dir/engine.cpp.o.d"
+  "libxspcl_sim.a"
+  "libxspcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sp/dot.cpp" "src/sp/CMakeFiles/xspcl_sp.dir/dot.cpp.o" "gcc" "src/sp/CMakeFiles/xspcl_sp.dir/dot.cpp.o.d"
+  "/root/repo/src/sp/graph.cpp" "src/sp/CMakeFiles/xspcl_sp.dir/graph.cpp.o" "gcc" "src/sp/CMakeFiles/xspcl_sp.dir/graph.cpp.o.d"
+  "/root/repo/src/sp/transform.cpp" "src/sp/CMakeFiles/xspcl_sp.dir/transform.cpp.o" "gcc" "src/sp/CMakeFiles/xspcl_sp.dir/transform.cpp.o.d"
+  "/root/repo/src/sp/validate.cpp" "src/sp/CMakeFiles/xspcl_sp.dir/validate.cpp.o" "gcc" "src/sp/CMakeFiles/xspcl_sp.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/xspcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_sp.dir/dot.cpp.o"
+  "CMakeFiles/xspcl_sp.dir/dot.cpp.o.d"
+  "CMakeFiles/xspcl_sp.dir/graph.cpp.o"
+  "CMakeFiles/xspcl_sp.dir/graph.cpp.o.d"
+  "CMakeFiles/xspcl_sp.dir/transform.cpp.o"
+  "CMakeFiles/xspcl_sp.dir/transform.cpp.o.d"
+  "CMakeFiles/xspcl_sp.dir/validate.cpp.o"
+  "CMakeFiles/xspcl_sp.dir/validate.cpp.o.d"
+  "libxspcl_sp.a"
+  "libxspcl_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_support.dir/log.cpp.o"
+  "CMakeFiles/xspcl_support.dir/log.cpp.o.d"
+  "CMakeFiles/xspcl_support.dir/status.cpp.o"
+  "CMakeFiles/xspcl_support.dir/status.cpp.o.d"
+  "CMakeFiles/xspcl_support.dir/strings.cpp.o"
+  "CMakeFiles/xspcl_support.dir/strings.cpp.o.d"
+  "libxspcl_support.a"
+  "libxspcl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_xml.dir/dom.cpp.o"
+  "CMakeFiles/xspcl_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/xspcl_xml.dir/parser.cpp.o"
+  "CMakeFiles/xspcl_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/xspcl_xml.dir/writer.cpp.o"
+  "CMakeFiles/xspcl_xml.dir/writer.cpp.o.d"
+  "libxspcl_xml.a"
+  "libxspcl_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xspcl/codegen.cpp" "src/xspcl/CMakeFiles/xspcl_lang.dir/codegen.cpp.o" "gcc" "src/xspcl/CMakeFiles/xspcl_lang.dir/codegen.cpp.o.d"
+  "/root/repo/src/xspcl/elaborate.cpp" "src/xspcl/CMakeFiles/xspcl_lang.dir/elaborate.cpp.o" "gcc" "src/xspcl/CMakeFiles/xspcl_lang.dir/elaborate.cpp.o.d"
+  "/root/repo/src/xspcl/loader.cpp" "src/xspcl/CMakeFiles/xspcl_lang.dir/loader.cpp.o" "gcc" "src/xspcl/CMakeFiles/xspcl_lang.dir/loader.cpp.o.d"
+  "/root/repo/src/xspcl/parser.cpp" "src/xspcl/CMakeFiles/xspcl_lang.dir/parser.cpp.o" "gcc" "src/xspcl/CMakeFiles/xspcl_lang.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/xspcl_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/xspcl_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hinch/CMakeFiles/xspcl_hinch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xspcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/xspcl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xspcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspcl_lang.dir/codegen.cpp.o"
+  "CMakeFiles/xspcl_lang.dir/codegen.cpp.o.d"
+  "CMakeFiles/xspcl_lang.dir/elaborate.cpp.o"
+  "CMakeFiles/xspcl_lang.dir/elaborate.cpp.o.d"
+  "CMakeFiles/xspcl_lang.dir/loader.cpp.o"
+  "CMakeFiles/xspcl_lang.dir/loader.cpp.o.d"
+  "CMakeFiles/xspcl_lang.dir/parser.cpp.o"
+  "CMakeFiles/xspcl_lang.dir/parser.cpp.o.d"
+  "libxspcl_lang.a"
+  "libxspcl_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspcl_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xspcl_lang.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hinch.dir/test_hinch.cpp.o"
+  "CMakeFiles/test_hinch.dir/test_hinch.cpp.o.d"
+  "test_hinch"
+  "test_hinch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hinch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

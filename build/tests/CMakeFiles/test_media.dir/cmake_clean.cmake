@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media.dir/test_media.cpp.o"
+  "CMakeFiles/test_media.dir/test_media.cpp.o.d"
+  "test_media"
+  "test_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xspcl.dir/test_xspcl.cpp.o"
+  "CMakeFiles/test_xspcl.dir/test_xspcl.cpp.o.d"
+  "test_xspcl"
+  "test_xspcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xspcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

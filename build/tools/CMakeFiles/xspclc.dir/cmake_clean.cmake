@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xspclc.dir/xspclc.cpp.o"
+  "CMakeFiles/xspclc.dir/xspclc.cpp.o.d"
+  "xspclc"
+  "xspclc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xspclc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
