@@ -59,5 +59,6 @@ int main() {
       "high core counts — the fused decode+IDCT task is unsliced, the\n"
       "paper's \"reduces the amount of parallelism\" caveat. Choosing the\n"
       "balance is exactly the further research §4.1 calls for.\n");
+  bench::teardown();
   return 0;
 }

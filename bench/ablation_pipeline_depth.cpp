@@ -41,5 +41,6 @@ int main() {
       "with diminishing returns, while memory fetches grow as more\n"
       "iterations' buffers fight for the shared L2 — the §4.1\n"
       "locality-vs-parallelism axis.\n");
+  bench::teardown();
   return 0;
 }

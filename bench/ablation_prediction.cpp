@@ -65,5 +65,6 @@ int main() {
       "\nExpected: the analytic model tracks the simulator within a\n"
       "modest error band; it ignores cache contention, so it is\n"
       "optimistic where memory traffic dominates (JPiP).\n");
+  bench::teardown();
   return 0;
 }

@@ -38,5 +38,6 @@ int main() {
   std::printf(
       "\nExpected: at the paper-scale lock cost the queue is invisible;\n"
       "inflated lock costs serialize the 9-core runs (rising wait%%).\n");
+  bench::teardown();
   return 0;
 }

@@ -27,5 +27,6 @@ int main() {
   std::printf(
       "\nExpected: a sweet spot around the paper's choices; beyond it the\n"
       "extra jobs only add central-queue and dispatch overhead.\n");
+  bench::teardown();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "media/jpeg.hpp"
 #include "media/kernels.hpp"
 #include "media/synth.hpp"
+#include "sp/graph.hpp"
 #include "xml/parser.hpp"
 #include "xspcl/loader.hpp"
 
@@ -63,6 +64,56 @@ void BM_SchedulerJobOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerJobOverhead)->Unit(benchmark::kMillisecond);
+
+// Scaling of the work-stealing thread pool on a job-dense graph: 64
+// independent trivial tasks per iteration, so per-job runtime overhead
+// (dequeue, dependency release, completion) dominates and any executor
+// serialization shows up directly as lost throughput. Reported counter:
+// jobs per second, plus the executor's steal/park statistics.
+void BM_ThreadPoolJobDense(benchmark::State& state) {
+  components::register_standard_globally();
+  constexpr int kTasks = 64;
+  constexpr int64_t kIters = 50;
+  std::vector<sp::NodePtr> blocks;
+  blocks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    sp::LeafSpec spec;
+    spec.instance = "tick" + std::to_string(i);
+    spec.klass = "event_ticker";
+    spec.params = {{"event", "e"},
+                   {"queue", "q"},
+                   {"period", "1000000"}};
+    blocks.push_back(sp::make_leaf(std::move(spec)));
+  }
+  sp::NodePtr g = sp::make_par(sp::ParShape::kTask, 1, std::move(blocks));
+  auto prog =
+      hinch::Program::build(*g, hinch::ComponentRegistry::global());
+  SUP_CHECK(prog.is_ok());
+  int workers = static_cast<int>(state.range(0));
+  uint64_t steals = 0;
+  uint64_t parks = 0;
+  for (auto _ : state) {
+    hinch::RunConfig run;
+    run.iterations = kIters;
+    run.window = 4;
+    hinch::ThreadResult r = hinch::run_on_threads(*prog.value(), run, workers);
+    benchmark::DoNotOptimize(r.jobs);
+    steals += r.steals;
+    parks += r.idle_parks;
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks * kIters);
+  state.counters["steals"] = benchmark::Counter(
+      static_cast<double>(steals), benchmark::Counter::kAvgIterations);
+  state.counters["parks"] = benchmark::Counter(
+      static_cast<double>(parks), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ThreadPoolJobDense)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_XmlParse(benchmark::State& state) {
   apps::PipConfig c;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "apps/apps.hpp"
+#include "components/clip_cache.hpp"
 #include "components/components.hpp"
 #include "hinch/runtime.hpp"
 #include "xspcl/loader.hpp"
@@ -89,5 +90,10 @@ inline hinch::SimResult run_sim(hinch::Program& prog, int64_t iterations,
 inline double mcycles(uint64_t cycles) {
   return static_cast<double>(cycles) / 1e6;
 }
+
+// End-of-main teardown: drop the process-wide clip caches so harnesses
+// that chain several paper-scale configurations (and leak checkers) see
+// a clean exit.
+inline void teardown() { components::clear_clip_caches(); }
 
 }  // namespace bench

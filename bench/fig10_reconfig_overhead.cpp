@@ -92,5 +92,6 @@ int main() {
   std::printf(
       "\nPaper shape: overhead stays below ~15%% and grows with the\n"
       "number of cores (quiescing serializes the application).\n");
+  bench::teardown();
   return 0;
 }

@@ -73,5 +73,6 @@ int main() {
   std::printf(
       "\nPaper shape: PiP ~5%% overhead, JPiP largest (~18%%, extra cache\n"
       "misses from de-fused kernels - see the miss ratio column), Blur ~0%%.\n");
+  bench::teardown();
   return 0;
 }

@@ -75,5 +75,6 @@ int main() {
   std::printf(
       "\nPaper shape: all scale well; Blur best (highest compute/comm\n"
       "ratio); JPiP lowest (sequential overhead carries over).\n");
+  bench::teardown();
   return 0;
 }

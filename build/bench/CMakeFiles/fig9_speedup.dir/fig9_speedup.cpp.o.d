@@ -214,18 +214,21 @@ bench/CMakeFiles/fig9_speedup.dir/fig9_speedup.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/apps/jpip.hpp /root/repo/src/components/components.hpp \
+ /root/repo/src/apps/jpip.hpp /root/repo/src/components/clip_cache.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/media/mjpeg.hpp \
+ /root/repo/src/media/synth.hpp /root/repo/src/support/status.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/components/components.hpp \
  /root/repo/src/hinch/registry.hpp /root/repo/src/hinch/component.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hinch/event.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
- /root/repo/src/hinch/stream.hpp /root/repo/src/support/status.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /root/repo/src/hinch/runtime.hpp \
- /root/repo/src/hinch/program.hpp /root/repo/src/sp/graph.hpp \
- /root/repo/src/hinch/scheduler.hpp /root/repo/src/hinch/sim_executor.hpp \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/optional /root/repo/src/hinch/stream.hpp \
+ /root/repo/src/hinch/runtime.hpp /root/repo/src/hinch/program.hpp \
+ /root/repo/src/sp/graph.hpp /root/repo/src/hinch/scheduler.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/hinch/sim_executor.hpp \
  /root/repo/src/hinch/thread_executor.hpp /root/repo/src/xspcl/loader.hpp

@@ -225,8 +225,9 @@ examples/CMakeFiles/adaptive_quality.dir/adaptive_quality.cpp.o: \
  /root/repo/src/media/mjpeg.hpp /root/repo/src/media/synth.hpp \
  /root/repo/src/hinch/runtime.hpp /root/repo/src/hinch/program.hpp \
  /root/repo/src/sp/graph.hpp /root/repo/src/hinch/scheduler.hpp \
- /root/repo/src/hinch/sim_executor.hpp /root/repo/src/sim/cache.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/atomic /root/repo/src/hinch/sim_executor.hpp \
+ /root/repo/src/sim/cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/hinch/thread_executor.hpp /root/repo/src/xspcl/loader.hpp

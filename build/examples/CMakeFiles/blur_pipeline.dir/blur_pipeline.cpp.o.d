@@ -227,6 +227,7 @@ examples/CMakeFiles/blur_pipeline.dir/blur_pipeline.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/hinch/runtime.hpp \
  /root/repo/src/hinch/program.hpp /root/repo/src/sp/graph.hpp \
- /root/repo/src/hinch/scheduler.hpp /root/repo/src/hinch/sim_executor.hpp \
+ /root/repo/src/hinch/scheduler.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/hinch/sim_executor.hpp \
  /root/repo/src/hinch/thread_executor.hpp /root/repo/src/perf/predict.hpp \
  /root/repo/src/sp/validate.hpp /root/repo/src/xspcl/loader.hpp

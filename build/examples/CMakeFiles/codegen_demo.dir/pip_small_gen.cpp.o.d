@@ -228,9 +228,9 @@ examples/CMakeFiles/codegen_demo.dir/pip_small_gen.cpp.o: \
  /root/repo/src/support/status.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /root/repo/src/hinch/runtime.hpp /root/repo/src/hinch/program.hpp \
- /root/repo/src/hinch/scheduler.hpp /root/repo/src/hinch/sim_executor.hpp \
- /root/repo/src/sim/cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/hinch/scheduler.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/hinch/sim_executor.hpp /root/repo/src/sim/cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/hinch/thread_executor.hpp /root/repo/src/sp/validate.hpp

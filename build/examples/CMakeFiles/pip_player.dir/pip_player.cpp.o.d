@@ -231,6 +231,6 @@ examples/CMakeFiles/pip_player.dir/pip_player.cpp.o: \
  /root/repo/src/media/mjpeg.hpp /root/repo/src/media/synth.hpp \
  /root/repo/src/hinch/runtime.hpp /root/repo/src/hinch/program.hpp \
  /root/repo/src/sp/graph.hpp /root/repo/src/hinch/scheduler.hpp \
- /root/repo/src/hinch/sim_executor.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/hinch/sim_executor.hpp \
  /root/repo/src/hinch/thread_executor.hpp /root/repo/src/media/y4m.hpp \
  /root/repo/src/xspcl/loader.hpp

@@ -215,8 +215,9 @@ src/apps/CMakeFiles/xspcl_apps.dir/blur.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/apps/seq_machine.hpp \
- /root/repo/src/components/clip_cache.hpp /root/repo/src/media/mjpeg.hpp \
- /root/repo/src/media/synth.hpp /root/repo/src/support/status.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/components/clip_cache.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/media/mjpeg.hpp /root/repo/src/media/synth.hpp \
+ /root/repo/src/support/status.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/media/kernels.hpp /root/repo/src/support/strings.hpp

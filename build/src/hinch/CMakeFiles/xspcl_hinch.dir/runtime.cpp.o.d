@@ -223,9 +223,9 @@ src/hinch/CMakeFiles/xspcl_hinch.dir/runtime.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sp/graph.hpp \
- /root/repo/src/hinch/scheduler.hpp /root/repo/src/hinch/sim_executor.hpp \
- /root/repo/src/sim/cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/hinch/scheduler.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/hinch/sim_executor.hpp /root/repo/src/sim/cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/hinch/thread_executor.hpp

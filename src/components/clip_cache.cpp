@@ -1,5 +1,6 @@
 #include "components/clip_cache.hpp"
 
+#include <list>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -7,52 +8,128 @@
 namespace components {
 namespace {
 
-using MapKey = std::tuple<uint64_t, int, int, int, int, int>;
+// Raw and encoded clips share one LRU list and one byte budget; the
+// payload kind only matters at lookup time.
+using MapKey = std::tuple<int, uint64_t, int, int, int, int, int>;
 
-MapKey map_key(const ClipKey& k) {
-  return {k.seed, k.width, k.height, static_cast<int>(k.format), k.frames,
-          k.quality};
+constexpr int kRawKind = 0;
+constexpr int kMjpegKind = 1;
+
+MapKey map_key(int kind, const ClipKey& k) {
+  return {kind,      k.seed,   k.width, k.height, static_cast<int>(k.format),
+          k.frames,  k.quality};
 }
 
+struct CacheEntry {
+  MapKey key;
+  std::shared_ptr<const media::RawVideo> raw;     // kind == kRawKind
+  std::shared_ptr<const media::MjpegClip> mjpeg;  // kind == kMjpegKind
+  size_t bytes = 0;
+};
+
 std::mutex g_mutex;
-std::map<MapKey, std::shared_ptr<const media::RawVideo>> g_raw;
-std::map<MapKey, std::shared_ptr<const media::MjpegClip>> g_mjpeg;
+// MRU at the front; eviction pops from the back.
+std::list<CacheEntry> g_lru;
+std::map<MapKey, std::list<CacheEntry>::iterator> g_index;
+size_t g_bytes = 0;
+size_t g_budget = size_t{512} << 20;
+
+size_t raw_bytes(const media::RawVideo& v) {
+  if (v.frame_count() == 0) return 0;
+  // All frames share format and dimensions.
+  return static_cast<size_t>(v.frame_count()) * v.frame(0)->bytes();
+}
+
+// Caller holds g_mutex.
+void evict_to_budget() {
+  while (g_bytes > g_budget && !g_lru.empty()) {
+    const CacheEntry& victim = g_lru.back();
+    g_bytes -= victim.bytes;
+    g_index.erase(victim.key);
+    g_lru.pop_back();
+  }
+}
+
+// Caller holds g_mutex. Returns the cached entry for `key` moved to the
+// MRU position, or nullptr when absent.
+CacheEntry* touch(const MapKey& key) {
+  auto it = g_index.find(key);
+  if (it == g_index.end()) return nullptr;
+  g_lru.splice(g_lru.begin(), g_lru, it->second);
+  return &g_lru.front();
+}
+
+// Caller holds g_mutex.
+CacheEntry* insert(CacheEntry entry) {
+  g_bytes += entry.bytes;
+  g_lru.push_front(std::move(entry));
+  g_index[g_lru.front().key] = g_lru.begin();
+  // The new entry itself is never evicted (it is at the MRU end and a
+  // single clip may legitimately exceed the budget — the caller needs it
+  // regardless); only colder entries go.
+  if (g_lru.size() > 1) evict_to_budget();
+  return &g_lru.front();
+}
 
 }  // namespace
 
 std::shared_ptr<const media::RawVideo> cached_raw_clip(const ClipKey& key) {
   ClipKey k = key;
   k.quality = 0;  // irrelevant for raw clips
+  MapKey mk = map_key(kRawKind, k);
   std::lock_guard<std::mutex> lock(g_mutex);
-  auto& slot = g_raw[map_key(k)];
-  if (!slot) {
-    media::SynthSpec spec;
-    spec.seed = k.seed;
-    spec.width = k.width;
-    spec.height = k.height;
-    spec.format = k.format;
-    slot = std::make_shared<const media::RawVideo>(
-        media::RawVideo::synthesize(spec, k.frames));
-  }
-  return slot;
+  if (CacheEntry* hit = touch(mk)) return hit->raw;
+  media::SynthSpec spec;
+  spec.seed = k.seed;
+  spec.width = k.width;
+  spec.height = k.height;
+  spec.format = k.format;
+  CacheEntry entry;
+  entry.key = mk;
+  entry.raw = std::make_shared<const media::RawVideo>(
+      media::RawVideo::synthesize(spec, k.frames));
+  entry.bytes = raw_bytes(*entry.raw);
+  return insert(std::move(entry))->raw;
 }
 
 std::shared_ptr<const media::MjpegClip> cached_mjpeg_clip(const ClipKey& key) {
+  MapKey mk = map_key(kMjpegKind, key);
   std::lock_guard<std::mutex> lock(g_mutex);
-  auto& slot = g_mjpeg[map_key(key)];
-  if (!slot) {
-    media::SynthSpec spec;
-    spec.seed = key.seed;
-    spec.width = key.width;
-    spec.height = key.height;
-    spec.format = key.format;
-    media::RawVideo raw = media::RawVideo::synthesize(spec, key.frames);
-    auto encoded = media::MjpegClip::encode(raw, key.quality);
-    SUP_CHECK_MSG(encoded.is_ok(), encoded.status().to_string().c_str());
-    slot = std::make_shared<const media::MjpegClip>(
-        std::move(encoded).take());
-  }
-  return slot;
+  if (CacheEntry* hit = touch(mk)) return hit->mjpeg;
+  media::SynthSpec spec;
+  spec.seed = key.seed;
+  spec.width = key.width;
+  spec.height = key.height;
+  spec.format = key.format;
+  media::RawVideo raw = media::RawVideo::synthesize(spec, key.frames);
+  auto encoded = media::MjpegClip::encode(raw, key.quality);
+  SUP_CHECK_MSG(encoded.is_ok(), encoded.status().to_string().c_str());
+  CacheEntry entry;
+  entry.key = mk;
+  entry.mjpeg =
+      std::make_shared<const media::MjpegClip>(std::move(encoded).take());
+  entry.bytes = entry.mjpeg->total_bytes();
+  return insert(std::move(entry))->mjpeg;
+}
+
+size_t set_clip_cache_budget(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  size_t prev = g_budget;
+  g_budget = max_bytes;
+  evict_to_budget();
+  return prev;
+}
+
+size_t clip_cache_bytes() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_bytes;
+}
+
+void clear_clip_caches() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_index.clear();
+  g_lru.clear();
+  g_bytes = 0;
 }
 
 }  // namespace components

@@ -4,8 +4,15 @@
 // (and JPEG-encoding) identical input clips each time would dominate
 // build time without changing any result, so clips are cached by their
 // full parameter tuple.
+//
+// The cache is byte-budgeted: entries are kept in LRU order and evicted
+// when the total payload size exceeds the budget, so parameter sweeps
+// (many distinct clip sizes) no longer grow process memory without
+// bound. Evicted clips stay alive as long as a caller holds the
+// shared_ptr; only the cache's reference is dropped.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "media/mjpeg.hpp"
@@ -28,5 +35,15 @@ std::shared_ptr<const media::RawVideo> cached_raw_clip(const ClipKey& key);
 
 // Shared immutable MJPEG encoding of the synthetic clip.
 std::shared_ptr<const media::MjpegClip> cached_mjpeg_clip(const ClipKey& key);
+
+// Maximum total payload bytes kept across both caches (default 512 MiB).
+// Shrinking the budget evicts immediately. Returns the previous budget.
+size_t set_clip_cache_budget(size_t max_bytes);
+
+// Current total payload bytes held by the caches (for tests/diagnostics).
+size_t clip_cache_bytes();
+
+// Drop every cached clip (benchmark teardown; keeps the budget).
+void clear_clip_caches();
 
 }  // namespace components

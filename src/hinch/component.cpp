@@ -91,6 +91,18 @@ Packet& ExecContext::inout(int out_port) {
   return s->slot(iteration_);
 }
 
+Packet& ExecContext::acquire(int out_port) {
+  Stream* s = comp_->output_stream(out_port);
+  SUP_CHECK_MSG(s != nullptr, "accessing an unbound output port");
+  return s->acquire_slot(iteration_);
+}
+
+void ExecContext::commit(int out_port) {
+  Stream* s = comp_->output_stream(out_port);
+  SUP_CHECK_MSG(s != nullptr, "accessing an unbound output port");
+  s->commit_slot(iteration_);
+}
+
 bool ExecContext::input_ready(int in_port) const {
   Stream* s = comp_->input_stream(in_port);
   SUP_CHECK_MSG(s != nullptr, "querying an unbound input port");

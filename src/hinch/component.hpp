@@ -126,8 +126,13 @@ class ExecContext {
   const Packet& read(int in_port) const;
   void write(int out_port, Packet packet);
   // In-place access to the output stream's slot (read-modify-write
-  // chains, e.g. blending into a shared canvas).
+  // chains, e.g. blending into a shared canvas). The slot must already
+  // have been written this iteration.
   Packet& inout(int out_port);
+  // Two-phase in-place production: acquire() returns the slot without
+  // publishing it (readers still fault until commit() marks it written).
+  Packet& acquire(int out_port);
+  void commit(int out_port);
   // True when the input stream already carries this iteration's data
   // (used with in-place chains).
   bool input_ready(int in_port) const;

@@ -1,55 +1,11 @@
 #include "hinch/sim_executor.hpp"
 
 #include <deque>
-#include <unordered_map>
+
+#include "hinch/region_table.hpp"
 
 namespace hinch {
 namespace {
-
-// Lazily-registered memory regions for stream slots and component
-// scratch space. A (stream, slot) pair keeps one region across slot
-// reuse, modelling the frame-pool behaviour of the runtime.
-class RegionTable {
- public:
-  RegionTable(sim::MemorySystem* mem, int depth)
-      : mem_(mem), depth_(depth) {}
-
-  sim::RegionId stream_region(int stream_index, int64_t iter,
-                              uint64_t min_bytes) {
-    uint64_t key = (static_cast<uint64_t>(stream_index) << 8) |
-                   static_cast<uint64_t>(iter % depth_);
-    return lookup(stream_regions_, key, min_bytes, "stream");
-  }
-
-  sim::RegionId scratch_region(int task, uint64_t min_bytes) {
-    return lookup(scratch_regions_, static_cast<uint64_t>(task),
-                  min_bytes, "scratch");
-  }
-
- private:
-  struct Entry {
-    sim::RegionId id;
-    uint64_t bytes;
-  };
-
-  sim::RegionId lookup(std::unordered_map<uint64_t, Entry>& table,
-                       uint64_t key, uint64_t min_bytes, const char* what) {
-    auto it = table.find(key);
-    if (it != table.end()) {
-      if (it->second.bytes >= min_bytes) return it->second.id;
-      mem_->release_region(it->second.id);
-      table.erase(it);
-    }
-    sim::RegionId id = mem_->register_region(min_bytes, what);
-    table.emplace(key, Entry{id, min_bytes});
-    return id;
-  }
-
-  sim::MemorySystem* mem_;
-  int depth_;
-  std::unordered_map<uint64_t, Entry> stream_regions_;
-  std::unordered_map<uint64_t, Entry> scratch_regions_;
-};
 
 class SimRun {
  public:

@@ -37,10 +37,26 @@ const Packet& Stream::read(int64_t iter) const {
 Packet& Stream::slot(int64_t iter) {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t s = slot_of(iter);
-  // In-place use: mark the slot as written for this iteration so later
-  // readers in the same iteration see it.
-  written_iter_[s] = iter;
+  // In-place consumers are readers first: the slot must already hold this
+  // iteration's data. Marking it written here (as an earlier version did)
+  // would let a mis-scheduled consumer silently bless a stale or empty
+  // slot for every later reader.
+  SUP_CHECK_MSG(written_iter_[s] == iter,
+                ("stream '" + name_ + "' in-place access before write").c_str());
   return slots_[s];
+}
+
+Packet& Stream::acquire_slot(int64_t iter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t s = slot_of(iter);
+  SUP_CHECK_MSG(written_iter_[s] != iter,
+                ("stream '" + name_ + "' slot acquired twice").c_str());
+  return slots_[s];
+}
+
+void Stream::commit_slot(int64_t iter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  written_iter_[slot_of(iter)] = iter;
 }
 
 media::FramePtr Stream::get_or_alloc_frame(int64_t iter,

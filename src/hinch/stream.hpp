@@ -86,8 +86,19 @@ class Stream {
   const Packet& read(int64_t iter) const;
 
   // In-place access for read-modify-write chains (e.g. blending into a
-  // shared canvas): returns the mutable packet of iteration `iter`.
+  // shared canvas): returns the mutable packet of iteration `iter`. The
+  // slot must already have been written for `iter` — in-place consumers
+  // are readers first, and marking an unwritten slot as written here
+  // would defeat the read-before-write guardrail for every later reader.
+  // Producers that want to fill a slot in place use acquire_slot() +
+  // commit_slot() instead.
   Packet& slot(int64_t iter);
+
+  // Two-phase in-place production: acquire_slot() hands out the slot's
+  // packet WITHOUT marking it written (readers still fault), the
+  // producer fills it, then commit_slot() publishes it for `iter`.
+  Packet& acquire_slot(int64_t iter);
+  void commit_slot(int64_t iter);
 
   // True when iteration `iter`'s slot holds data written for that
   // iteration (used by tests and defensive checks).

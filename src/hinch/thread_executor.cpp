@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -10,22 +11,58 @@
 namespace hinch {
 namespace {
 
+// splitmix64: deterministic per-run worker RNG for victim selection.
+inline uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 class ThreadRun {
+  // One per worker, cache-line padded so deque locks and counters of
+  // neighbouring workers do not false-share.
+  struct alignas(64) Worker {
+    std::mutex mu;
+    std::deque<JobRef> jobs;  // owner: push/pop back (LIFO); thief: front
+    uint64_t rng = 0;
+    uint64_t executed = 0;
+    uint64_t steals = 0;
+    uint64_t parks = 0;
+  };
+
  public:
   ThreadRun(Program& prog, const RunConfig& config)
       : prog_(prog), scheduler_(prog, config) {}
 
   ThreadResult run(int workers) {
     SUP_CHECK(workers >= 1);
+    workers_ = workers;
     auto t0 = std::chrono::steady_clock::now();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      for (const JobRef& job : scheduler_.start()) queue_.push_back(job);
+
+    slots_ = std::vector<Worker>(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      // Deterministic per-run seed: same program + worker count -> same
+      // victim sequences (no wall-clock or address entropy).
+      slots_[static_cast<size_t>(w)].rng =
+          0x853C49E6748FEA9BULL ^ (static_cast<uint64_t>(w + 1) * 0x9E37ULL);
     }
+
+    std::vector<JobRef> initial = scheduler_.start();
+    pending_.store(static_cast<int64_t>(initial.size()),
+                   std::memory_order_relaxed);
+    if (initial.empty()) {
+      done_.store(true, std::memory_order_relaxed);
+    } else {
+      // Spread the initial wavefront round-robin so workers start busy.
+      for (size_t i = 0; i < initial.size(); ++i)
+        slots_[i % static_cast<size_t>(workers)].jobs.push_back(initial[i]);
+    }
+
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w)
-      pool.emplace_back([this, w] { worker(w); });
+      pool.emplace_back([this, w] { worker_loop(w); });
     for (std::thread& t : pool) t.join();
     auto t1 = std::chrono::steady_clock::now();
 
@@ -34,48 +71,153 @@ class ThreadRun {
     ThreadResult result;
     result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     result.sched = scheduler_.stats();
-    result.jobs = jobs_;
+    result.worker_jobs.reserve(slots_.size());
+    for (const Worker& w : slots_) {
+      result.jobs += w.executed;
+      result.steals += w.steals;
+      result.idle_parks += w.parks;
+      result.worker_jobs.push_back(w.executed);
+    }
     return result;
   }
 
  private:
-  void worker(int id) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void worker_loop(int id) {
+    Worker& self = slots_[static_cast<size_t>(id)];
+    JobRef job;
+    int failed_sweeps = 0;
     for (;;) {
-      cv_.wait(lock, [this] {
-        return !queue_.empty() || (running_ == 0 && queue_.empty());
-      });
-      if (queue_.empty()) {
-        // Nothing queued and nothing running: the program is finished
-        // (or would be deadlocked, which valid SP programs cannot be).
-        cv_.notify_all();
-        return;
+      if (pop_own(self, &job) || steal(id, &job)) {
+        failed_sweeps = 0;
+        run_job(id, job);
+        continue;
       }
-      JobRef job = queue_.front();
-      queue_.pop_front();
-      ++running_;
-      lock.unlock();
+      if (done_.load(std::memory_order_acquire)) return;
+      // Spin through a few sweeps before parking: job supply is bursty
+      // (a completion fans out a whole wavefront at once).
+      if (++failed_sweeps < 4) {
+        std::this_thread::yield();
+        continue;
+      }
+      failed_sweeps = 0;
+      park(self);
+    }
+  }
 
+  void run_job(int id, JobRef job) {
+    Worker& self = slots_[static_cast<size_t>(id)];
+    // Chain loop: run the job, then directly continue with its first
+    // child — for the dominant one-successor case (the self-dependency
+    // chain of a task across iterations) this touches neither the deque
+    // nor the pending counter: the parent's "1 pending" simply transfers
+    // to the child. Extra children are published for thieves.
+    for (;;) {
       ExecContext ctx(scheduler_.job_component(job), job.iter, id,
                       &prog_.queues());
       scheduler_.execute(job, ctx);
-
-      lock.lock();
-      ++jobs_;
       std::vector<JobRef> newly = scheduler_.complete(job);
-      --running_;
-      for (const JobRef& j : newly) queue_.push_back(j);
-      if (!newly.empty() || running_ == 0) cv_.notify_all();
+      ++self.executed;
+      if (newly.empty()) break;
+      if (newly.size() > 1) {
+        // Count the extra children before continuing so `pending_` can
+        // never dip to zero while work still exists.
+        pending_.fetch_add(static_cast<int64_t>(newly.size()) - 1,
+                           std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(self.mu);
+          for (size_t i = 1; i < newly.size(); ++i)
+            self.jobs.push_back(newly[i]);
+        }
+        wake_sleepers(newly.size() - 1);
+      }
+      job = newly[0];
     }
+    // The chain retires: drop its pending unit.
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last job in the system: the run is over.
+      {
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        done_.store(true, std::memory_order_release);
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  bool pop_own(Worker& self, JobRef* out) {
+    std::lock_guard<std::mutex> lock(self.mu);
+    if (self.jobs.empty()) return false;
+    *out = self.jobs.back();
+    self.jobs.pop_back();
+    return true;
+  }
+
+  bool steal(int id, JobRef* out) {
+    int n = workers_;
+    if (n <= 1) return false;
+    Worker& self = slots_[static_cast<size_t>(id)];
+    // Randomized victim order (deterministic seed): scan all other
+    // workers starting at a random offset. try_lock keeps thieves from
+    // convoying on a busy victim; a missed deque is retried on the next
+    // sweep (termination never depends on sweep completeness — the
+    // pending_ counter governs it).
+    int start = static_cast<int>(splitmix64(self.rng) %
+                                 static_cast<uint64_t>(n - 1));
+    for (int i = 0; i < n - 1; ++i) {
+      int victim = (start + i) % (n - 1);
+      if (victim >= id) ++victim;  // skip self
+      Worker& v = slots_[static_cast<size_t>(victim)];
+      std::unique_lock<std::mutex> lock(v.mu, std::try_to_lock);
+      if (!lock.owns_lock() || v.jobs.empty()) continue;
+      *out = v.jobs.front();  // FIFO end: oldest, largest-grain work
+      v.jobs.pop_front();
+      ++self.steals;
+      return true;
+    }
+    return false;
+  }
+
+  void park(Worker& self) {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (done_.load(std::memory_order_relaxed)) return;
+    uint64_t epoch = wake_epoch_;
+    ++sleepers_;
+    ++self.parks;
+    // Bounded wait: a producer that observed sleepers_ == 0 an instant
+    // before we got here may skip its wakeup; the timeout turns that
+    // lost-wakeup window into a short stall instead of a hang.
+    idle_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+      return wake_epoch_ != epoch || done_.load(std::memory_order_relaxed);
+    });
+    --sleepers_;
+  }
+
+  void wake_sleepers(size_t new_jobs) {
+    if (sleepers_.load(std::memory_order_relaxed) == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      ++wake_epoch_;
+    }
+    if (new_jobs > 1)
+      idle_cv_.notify_all();
+    else
+      idle_cv_.notify_one();
   }
 
   Program& prog_;
   Scheduler scheduler_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<JobRef> queue_;
-  int running_ = 0;
-  uint64_t jobs_ = 0;
+  int workers_ = 1;
+  std::vector<Worker> slots_;
+
+  // Jobs enqueued or running. 0 <=> the run is complete (children are
+  // counted before their parent retires).
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> done_{false};
+
+  // Idle/termination protocol (see docs/RUNTIME.md).
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  uint64_t wake_epoch_ = 0;       // guarded by idle_mu_
+  std::atomic<int> sleepers_{0};  // relaxed hint for producers
 };
 
 }  // namespace

@@ -31,6 +31,37 @@ TEST(GuardrailDeathTest, StaleSlotReadAborts) {
   EXPECT_DEATH(s.read(2), "read before write");
 }
 
+TEST(GuardrailDeathTest, InPlaceAccessBeforeWriteAborts) {
+  // slot() is for read-modify-write consumers; handing out an unwritten
+  // slot (and marking it written, as an earlier version did) would bless
+  // stale data for every later reader.
+  Stream s("bench", 3);
+  EXPECT_DEATH(s.slot(0), "in-place access before write");
+  s.write(0, Packet::of(std::make_shared<int>(1), 4));
+  EXPECT_DEATH(s.slot(3), "in-place access before write");  // stale tenant
+}
+
+TEST(GuardrailStreamTest, AcquireCommitPublishesSlot) {
+  // Two-phase in-place production: the slot stays invisible to readers
+  // until commit_slot().
+  Stream s("bench", 3);
+  Packet& p = s.acquire_slot(0);
+  EXPECT_FALSE(s.has(0));
+  p = Packet::of(std::make_shared<int>(42), 4);
+  s.commit_slot(0);
+  EXPECT_TRUE(s.has(0));
+  EXPECT_EQ(*s.read(0).get<int>(), 42);
+  // After commit, in-place access is legal.
+  EXPECT_EQ(*s.slot(0).get<int>(), 42);
+}
+
+TEST(GuardrailDeathTest, DoubleAcquireAborts) {
+  Stream s("bench", 2);
+  s.acquire_slot(1);
+  s.commit_slot(1);
+  EXPECT_DEATH(s.acquire_slot(1), "slot acquired twice");
+}
+
 TEST(GuardrailDeathTest, PacketTypeMismatchAborts) {
   Packet p = Packet::of(std::make_shared<int>(7), 4);
   EXPECT_DEATH(p.get<double>(), "type mismatch");
