@@ -66,8 +66,15 @@ CacheEntry* insert(CacheEntry entry) {
   g_index[g_lru.front().key] = g_lru.begin();
   // The new entry itself is never evicted (it is at the MRU end and a
   // single clip may legitimately exceed the budget — the caller needs it
-  // regardless); only colder entries go.
-  if (g_lru.size() > 1) evict_to_budget();
+  // regardless); only colder entries go. evict_to_budget() would drain
+  // the list completely when the fresh entry alone exceeds the budget,
+  // leaving the returned pointer dangling, so stop before the MRU entry.
+  while (g_bytes > g_budget && g_lru.size() > 1) {
+    const CacheEntry& victim = g_lru.back();
+    g_bytes -= victim.bytes;
+    g_index.erase(victim.key);
+    g_lru.pop_back();
+  }
   return &g_lru.front();
 }
 

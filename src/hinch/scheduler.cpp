@@ -66,32 +66,43 @@ void Scheduler::admit_iteration(int64_t iter, std::vector<JobRef>* ready) {
   ++admitted_;
   done_counts_[static_cast<size_t>(iter % config_.window)].count.store(
       0, std::memory_order_relaxed);
-  // Initialize instances with their unmet-dependency counts.
+  // Pass 1: initialize every instance with its unmet-dependency count
+  // before any rendezvous token is published. A racing finish(·, iter-1)
+  // that wins a rendezvous below may fire a source task and — for
+  // skipped tasks — cascade finish() inline through arbitrary successors
+  // of this iteration; publishing any token before the whole iteration
+  // is initialized would let that cascade reach a stale ring slot
+  // (remaining == 0, state == kDone from iteration iter - window).
+  const bool self_edges = iter > 0 && config_.window > 1;
   for (const Task& t : prog_.tasks()) {
     Instance& in = inst(t.id, iter);
     in.state.store(kWaiting, std::memory_order_relaxed);
     int remaining = static_cast<int>(t.preds.size());
-    if (iter > 0 && config_.window > 1) {
-      // Self-dependency: a component is sequential with itself across
-      // iterations. The previous instance's slot is still live here
-      // (distinct ring slot), and its finish may be racing with this
-      // admission — rendezvous on the cell so exactly one side releases
-      // the edge. With window == 1 the previous iteration is fully
-      // complete by construction — admission happens when iteration
-      // iter-window finishes — and its slot aliases this one, so no
-      // self edge is recorded.
-      in.remaining.store(remaining + 1, std::memory_order_relaxed);
+    // Self-dependency: a component is sequential with itself across
+    // iterations. With window == 1 the previous iteration is fully
+    // complete by construction — admission happens when iteration
+    // iter-window finishes — and its slot aliases this one, so no
+    // self edge is recorded.
+    in.remaining.store(self_edges ? remaining + 1 : remaining,
+                       std::memory_order_relaxed);
+  }
+  // Pass 2: publish the rendezvous tokens. The previous instance's slot
+  // is still live (distinct ring slot) and its finish may be racing with
+  // this admission — exchange on the cell so exactly one side releases
+  // the self edge. The acq_rel exchange also release-publishes all the
+  // pass-1 stores to any finisher that reads our token.
+  if (self_edges) {
+    for (const Task& t : prog_.tasks()) {
       int64_t prev = self_cell(t.id, iter).exchange(
           admit_token(iter), std::memory_order_acq_rel);
       if (prev == finish_token(iter)) {
         // The previous iteration already finished (and, having lost the
         // rendezvous, left the release to us).
+        Instance& in = inst(t.id, iter);
         int left =
             in.remaining.fetch_sub(1, std::memory_order_acq_rel) - 1;
         SUP_CHECK(left >= 0);
       }
-    } else {
-      in.remaining.store(remaining, std::memory_order_relaxed);
     }
   }
   // Fire everything that is already unblocked. Concurrent finishers of

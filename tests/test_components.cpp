@@ -3,6 +3,7 @@
 // sources, plane modes, reconfiguration requests, sink retention.
 #include <gtest/gtest.h>
 
+#include "components/clip_cache.hpp"
 #include "components/components.hpp"
 #include "components/sinks.hpp"
 #include "hinch/runtime.hpp"
@@ -413,6 +414,31 @@ TEST(Transcode, EncodeSinkRoundTrips) {
     media::FramePtr original = media::make_synth_frame(spec, i);
     EXPECT_GT(media::psnr(*original, *decoded.value()), 30.0) << i;
   }
+}
+
+TEST(ClipCache, InsertSurvivesBudgetSmallerThanOneClip) {
+  components::clear_clip_caches();
+  // Budget below the size of any single clip: the freshly inserted entry
+  // must be retained (the caller holds a reference to it), not evicted
+  // out from under the returned pointer.
+  size_t prev = components::set_clip_cache_budget(1);
+  components::ClipKey key{1234, 32, 24, media::PixelFormat::kYuv420, 2, 0};
+  auto clip = components::cached_raw_clip(key);
+  ASSERT_NE(clip, nullptr);
+  EXPECT_EQ(clip->frame_count(), 2);
+  EXPECT_GT(components::clip_cache_bytes(), 0u);
+  // A second insert evicts the colder entry but again keeps the new one.
+  components::ClipKey key2 = key;
+  key2.seed = 5678;
+  auto clip2 = components::cached_raw_clip(key2);
+  ASSERT_NE(clip2, nullptr);
+  size_t clip2_bytes = static_cast<size_t>(clip2->frame_count()) *
+                       clip2->frame(0)->bytes();
+  EXPECT_EQ(components::clip_cache_bytes(), clip2_bytes);
+  // The evicted clip stays alive through the caller's shared_ptr.
+  EXPECT_EQ(clip->frame_count(), 2);
+  components::set_clip_cache_budget(prev);
+  components::clear_clip_caches();
 }
 
 TEST(Registry, ListsAllStandardClasses) {
