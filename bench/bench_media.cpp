@@ -1,0 +1,302 @@
+// Media hot-path microbench: wall-clock (host) cost of the JPEG decode
+// phases and the pixel kernels, before/after the table-driven Huffman +
+// fixed-point AAN + border-split rewrites. Emits machine-readable
+// BENCH_kernels.json so the perf trajectory is tracked PR over PR.
+//
+// This measures HOST time only. The simulated-cycle model the figure
+// benches (fig8/9/10) report is a separate, deliberately unchanged layer
+// — see docs/PERF.md for the split.
+//
+// Usage: bench_media [output.json]   (default ./BENCH_kernels.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "media/frame.hpp"
+#include "media/jpeg.hpp"
+#include "media/kernels.hpp"
+#include "media/mjpeg.hpp"
+#include "media/synth.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+// Best-of-N wall-clock of `fn` (after one untimed warmup run).
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = Clock::now();
+    fn();
+    double ms = ms_since(t0);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+struct Row {
+  std::string name;
+  double baseline_ms;
+  double optimized_ms;
+  std::string unit;  // what one measurement covers
+};
+
+std::vector<Row> g_rows;
+
+void add_row(const std::string& name, double baseline_ms,
+             double optimized_ms, const std::string& unit) {
+  g_rows.push_back({name, baseline_ms, optimized_ms, unit});
+  std::printf("%-28s baseline %9.3f ms  optimized %9.3f ms  speedup %5.2fx\n",
+              name.c_str(), baseline_ms, optimized_ms,
+              baseline_ms / optimized_ms);
+}
+
+void write_json(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  SUP_CHECK_MSG(f != nullptr, "cannot open output json");
+  std::fprintf(f, "{\n  \"bench\": \"bench_media\",\n");
+  std::fprintf(f, "  \"clock\": \"host_wall_clock\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"baseline_ms\": %.4f, "
+                 "\"optimized_ms\": %.4f, \"speedup\": %.3f, "
+                 "\"unit\": \"%s\"}%s\n",
+                 r.name.c_str(), r.baseline_ms, r.optimized_ms,
+                 r.baseline_ms / r.optimized_ms, r.unit.c_str(),
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// --- decode phases on a 1080p synthetic MJPEG stream ------------------------
+
+void bench_decode() {
+  const int kFrames = 4;
+  media::SynthSpec spec{.seed = 42, .width = 1920, .height = 1080,
+                        .format = media::PixelFormat::kYuv420};
+  media::RawVideo raw = media::RawVideo::synthesize(spec, kFrames);
+  auto clip = media::MjpegClip::encode(raw, 75);
+  SUP_CHECK(clip.is_ok());
+  const media::MjpegClip& mj = clip.value();
+  std::printf("1080p synthetic MJPEG: %d frames, %zu compressed bytes\n",
+              mj.frame_count(), mj.total_bytes());
+
+  // Headline: full frame decode (entropy decode + IDCT of every plane),
+  // old implementation (bit-at-a-time Huffman walk, float reference
+  // IDCT, fresh buffers per frame) against the new hot path
+  // (table-driven Huffman through the streaming buffer-reuse API,
+  // fixed-point AAN IDCT).
+  media::jpeg::CoeffImage reuse;
+  std::vector<media::FramePtr> outs;
+  auto idct_planes = [&](const media::jpeg::CoeffImage& img,
+                         media::jpeg::IdctImpl impl) {
+    if (outs.empty())
+      for (int p = 0; p < media::plane_count(img.format); ++p)
+        outs.push_back(media::make_frame(media::PixelFormat::kGray,
+                                         img.comps[static_cast<size_t>(p)].width,
+                                         img.comps[static_cast<size_t>(p)].height));
+    for (int p = 0; p < media::plane_count(img.format); ++p) {
+      const auto& cp = img.comps[static_cast<size_t>(p)];
+      media::jpeg::idct_component(cp, outs[static_cast<size_t>(p)]->plane(0),
+                                  0, cp.blocks_h, impl);
+    }
+  };
+  auto decode_old = [&] {
+    for (int i = 0; i < mj.frame_count(); ++i) {
+      const auto& bytes = mj.frame(i);
+      auto coeffs = media::jpeg::decode_to_coefficients(
+          bytes.data(), bytes.size(), media::jpeg::HuffmanImpl::kBitSerial);
+      SUP_CHECK(coeffs.is_ok());
+      idct_planes(coeffs.value(), media::jpeg::IdctImpl::kFloatReference);
+    }
+  };
+  auto decode_new = [&] {
+    for (int i = 0; i < mj.frame_count(); ++i) {
+      const auto& bytes = mj.frame(i);
+      support::Status st = media::jpeg::decode_to_coefficients_into(
+          bytes.data(), bytes.size(), &reuse,
+          media::jpeg::HuffmanImpl::kLookupTable);
+      SUP_CHECK(st.is_ok());
+      idct_planes(reuse, media::jpeg::IdctImpl::kFixedPoint);
+    }
+  };
+  double old_ms = best_ms(5, decode_old);
+  double new_ms = best_ms(5, decode_new);
+  add_row("jpeg_decode_1080p", old_ms, new_ms,
+          "full decode (entropy + IDCT) of 4 1080p frames");
+
+  // Attribution row: entropy decode alone, same streaming buffer reuse
+  // on both sides, so the delta is purely the bit-reader + lookup table.
+  auto entropy_only = [&](media::jpeg::HuffmanImpl impl) {
+    for (int i = 0; i < mj.frame_count(); ++i) {
+      const auto& bytes = mj.frame(i);
+      support::Status st = media::jpeg::decode_to_coefficients_into(
+          bytes.data(), bytes.size(), &reuse, impl);
+      SUP_CHECK(st.is_ok());
+    }
+  };
+  double serial_stream = best_ms(
+      5, [&] { entropy_only(media::jpeg::HuffmanImpl::kBitSerial); });
+  double fast_stream = best_ms(
+      5, [&] { entropy_only(media::jpeg::HuffmanImpl::kLookupTable); });
+  add_row("huffman_engine_only", serial_stream, fast_stream,
+          "entropy decode of 4 1080p frames");
+
+  // IDCT over the luma plane of one decoded frame.
+  const auto& bytes = mj.frame(0);
+  auto coeffs =
+      media::jpeg::decode_to_coefficients(bytes.data(), bytes.size());
+  SUP_CHECK(coeffs.is_ok());
+  const media::jpeg::CoeffPlane& y = coeffs.value().comps[0];
+  media::Frame out(media::PixelFormat::kGray, y.width, y.height);
+  auto idct_all = [&](media::jpeg::IdctImpl impl) {
+    media::jpeg::idct_component(y, out.plane(0), 0, y.blocks_h, impl);
+  };
+  double f_ref = best_ms(
+      10, [&] { idct_all(media::jpeg::IdctImpl::kFloatReference); });
+  double fixed =
+      best_ms(10, [&] { idct_all(media::jpeg::IdctImpl::kFixedPoint); });
+  add_row("idct_1080p_luma", f_ref, fixed, "IDCT of one 1080p luma plane");
+}
+
+// --- pixel kernels ----------------------------------------------------------
+
+// Naive clamp-everywhere references, mirroring the pre-optimization
+// kernel bodies (same structure as tests/test_kernels_equiv.cpp).
+int clampi(int v, int lo, int hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+void ref_blur_h(media::ConstPlaneView src, media::PlaneView dst, int k) {
+  const int16_t* taps = media::gaussian_taps(k);
+  const int r = k / 2;
+  for (int y = 0; y < dst.height; ++y) {
+    const uint8_t* in = src.row(y);
+    uint8_t* out = dst.row(y);
+    for (int x = 0; x < dst.width; ++x) {
+      int acc = 128;
+      for (int t = -r; t <= r; ++t)
+        acc += taps[t + r] * in[clampi(x + t, 0, src.width - 1)];
+      out[x] = static_cast<uint8_t>(acc >> 8);
+    }
+  }
+}
+
+void ref_blur_v(media::ConstPlaneView src, media::PlaneView dst, int k) {
+  const int16_t* taps = media::gaussian_taps(k);
+  const int r = k / 2;
+  for (int y = 0; y < dst.height; ++y) {
+    uint8_t* out = dst.row(y);
+    for (int x = 0; x < dst.width; ++x) {
+      int acc = 128;
+      for (int t = -r; t <= r; ++t)
+        acc += taps[t + r] *
+               src.row(clampi(y + t, 0, src.height - 1))[x];
+      out[x] = static_cast<uint8_t>(acc >> 8);
+    }
+  }
+}
+
+void ref_downscale_box(media::ConstPlaneView src, media::PlaneView dst,
+                       int factor) {
+  for (int y = 0; y < dst.height; ++y) {
+    uint8_t* out = dst.row(y);
+    for (int x = 0; x < dst.width; ++x) {
+      unsigned sum = 0;
+      for (int dy = 0; dy < factor; ++dy) {
+        const uint8_t* row = src.row(y * factor + dy) + x * factor;
+        for (int dx = 0; dx < factor; ++dx) sum += row[dx];
+      }
+      unsigned n = static_cast<unsigned>(factor * factor);
+      out[x] = static_cast<uint8_t>((sum + n / 2) / n);
+    }
+  }
+}
+
+// Separate downscale-then-blend, the pre-fusion formulation.
+void ref_downscale_blend(media::ConstPlaneView src, media::PlaneView dst,
+                         media::PlaneView scratch, int factor, int dst_x,
+                         int dst_y, int alpha) {
+  ref_downscale_box(src, scratch, factor);
+  media::blend(media::ConstPlaneView{scratch.data, scratch.width,
+                                     scratch.height, scratch.stride},
+               dst, dst_x, dst_y, alpha, 0, dst.height);
+}
+
+void bench_kernels() {
+  const int w = 1920, h = 1080;
+  media::SynthSpec spec{.seed = 7, .width = w, .height = h,
+                        .format = media::PixelFormat::kGray};
+  media::FramePtr src = media::make_synth_frame(spec, 0);
+  media::Frame dst(media::PixelFormat::kGray, w, h);
+
+  for (int k : {3, 5}) {
+    double base = best_ms(5, [&] { ref_blur_h(src->plane(0), dst.plane(0), k); });
+    double opt = best_ms(
+        5, [&] { media::blur_h(src->plane(0), dst.plane(0), k, 0, h); });
+    add_row("blur_h_k" + std::to_string(k), base, opt, "1080p plane");
+    base = best_ms(5, [&] { ref_blur_v(src->plane(0), dst.plane(0), k); });
+    opt = best_ms(
+        5, [&] { media::blur_v(src->plane(0), dst.plane(0), k, 0, h); });
+    add_row("blur_v_k" + std::to_string(k), base, opt, "1080p plane");
+  }
+
+  for (int factor : {2, 4}) {
+    media::Frame small(media::PixelFormat::kGray, w / factor, h / factor);
+    double base = best_ms(
+        10, [&] { ref_downscale_box(src->plane(0), small.plane(0), factor); });
+    double opt = best_ms(10, [&] {
+      media::downscale_box(src->plane(0), small.plane(0), factor, 0,
+                           h / factor);
+    });
+    add_row("downscale_box_f" + std::to_string(factor), base, opt,
+            "1080p plane");
+  }
+
+  // Fused downscale+blend vs downscale-into-scratch-then-blend.
+  {
+    const int factor = 2;
+    media::Frame scratch(media::PixelFormat::kGray, w / factor, h / factor);
+    double base = best_ms(10, [&] {
+      ref_downscale_blend(src->plane(0), dst.plane(0), scratch.plane(0),
+                          factor, 16, 16, 192);
+    });
+    double opt = best_ms(10, [&] {
+      media::downscale_blend(src->plane(0), dst.plane(0), factor, 16, 16,
+                             192, 0, h);
+    });
+    add_row("downscale_blend_f2", base, opt, "1080p plane, fused vs 2-pass");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  bench_decode();
+  bench_kernels();
+  write_json(out);
+  // The headline acceptance bar: the new decode path must be at least
+  // 3x the old bit-at-a-time decoder on the 1080p stream.
+  for (const auto& r : g_rows)
+    if (r.name == "jpeg_decode_1080p" &&
+        r.baseline_ms / r.optimized_ms < 3.0) {
+      std::printf("FAIL: jpeg_decode_1080p speedup %.2fx < 3x\n",
+                  r.baseline_ms / r.optimized_ms);
+      return 1;
+    }
+  std::printf("OK\n");
+  return 0;
+}

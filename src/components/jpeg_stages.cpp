@@ -52,10 +52,16 @@ class JpegDecodeComponent : public hinch::Component {
 
   void run(hinch::ExecContext& ctx) override {
     auto bytes = ctx.read(in_).get<std::vector<uint8_t>>();
-    auto decoded =
-        media::jpeg::decode_to_coefficients(bytes->data(), bytes->size());
-    SUP_CHECK_MSG(decoded.is_ok(), decoded.status().to_string().c_str());
-    auto img = std::make_shared<CoeffImage>(std::move(decoded).take());
+    // Reuse the previous frame's coefficient buffer once every
+    // downstream IDCT stage has released it (we hold the only
+    // reference); a 1080p CoeffImage is several MB, and a fresh
+    // allocation + fill per frame costs as much as the entropy decode.
+    if (!spare_ || spare_.use_count() != 1)
+      spare_ = std::make_shared<CoeffImage>();
+    auto img = spare_;
+    support::Status st = media::jpeg::decode_to_coefficients_into(
+        bytes->data(), bytes->size(), img.get());
+    SUP_CHECK_MSG(st.is_ok(), st.to_string().c_str());
     uint64_t out_bytes = coeff_bytes(*img);
     uint64_t blocks = total_blocks(*img);
     ctx.touch_read(in_, 0, bytes->size());
@@ -68,6 +74,7 @@ class JpegDecodeComponent : public hinch::Component {
  private:
   int in_;
   int out_;
+  std::shared_ptr<CoeffImage> spare_;
 };
 
 // IDCT of one colour component into a gray frame; data-parallel over

@@ -51,15 +51,46 @@ support::Result<std::vector<uint8_t>> encode(const Frame& frame, int quality,
 
 // --- decoding ---------------------------------------------------------------
 
-// Phase 1: parse markers, entropy-decode, dequantize.
-support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
-                                                   size_t size);
+// Host-side implementation selection for the two decode phases. The
+// optimized paths are the defaults; the reference paths are retained for
+// equivalence tests and as the "before" leg of the decode microbench.
+// Neither choice affects the simulated-cycle helpers below.
+enum class HuffmanImpl {
+  kLookupTable,  // 8-bit fast-path table + 64-bit buffered bit reader
+  kBitSerial,    // original one-bit-at-a-time T.81 §F.2.2.3 walk
+};
+enum class IdctImpl {
+  kFixedPoint,      // fixed-point AAN separable IDCT
+  kFloatReference,  // naive O(8) float multiply per output per pass
+};
+
+// Phase 1: parse markers, entropy-decode, dequantize. Both Huffman
+// implementations produce bit-identical CoeffImages.
+support::Result<CoeffImage> decode_to_coefficients(
+    const uint8_t* data, size_t size,
+    HuffmanImpl impl = HuffmanImpl::kLookupTable);
+
+// Streaming variant: decodes into `*out`, reusing its coefficient-block
+// storage when the geometry matches the previous frame. For an MJPEG
+// stream this skips a multi-megabyte allocation + zero-fill per frame,
+// which otherwise rivals the entropy decode itself in wall-clock cost.
+// On error `*out` is left in an unspecified (but reusable) state.
+support::Status decode_to_coefficients_into(
+    const uint8_t* data, size_t size, CoeffImage* out,
+    HuffmanImpl impl = HuffmanImpl::kLookupTable);
 
 // Phase 2: IDCT block rows [block_row0, block_row1) of one component into
 // `out` (which must have the component's pixel dimensions). Thread-safe
-// for disjoint row ranges.
+// for disjoint row ranges. The fixed-point path is within +-1 LSB of the
+// float reference.
 void idct_component(const CoeffPlane& comp, PlaneView out, int block_row0,
-                    int block_row1);
+                    int block_row1, IdctImpl impl = IdctImpl::kFixedPoint);
+
+// Single-block transforms, exposed for accuracy tests and microbenches.
+// Float reference: raw spatial values (caller level-shifts and clamps).
+void idct_block_float(const int16_t in[64], float out[64]);
+// Fixed-point AAN: final pixels (level shift + clamp applied).
+void idct_block_fixed(const int16_t in[64], uint8_t out[64]);
 
 // Full decode (phase 1 + phase 2 over all rows).
 support::Result<FramePtr> decode(const uint8_t* data, size_t size);

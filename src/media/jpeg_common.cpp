@@ -128,6 +128,31 @@ HuffDecodeTable build_decode_table(const uint8_t bits[16],
     code <<= 1;
   }
   t.valid = k == value_count;
+
+  // Fast-path table: every code of length L <= kLookupBits owns the
+  // 2^(kLookupBits - L) indices whose top L bits equal the code. An
+  // oversubscribed DHT (codes spilling past the index space) marks the
+  // whole table invalid rather than producing a partial fast path.
+  if (t.valid) {
+    int32_t fill_code = 0;
+    int vi = 0;
+    for (int len = 1; len <= HuffDecodeTable::kLookupBits && t.valid; ++len) {
+      for (int i = 0; i < bits[len - 1]; ++i) {
+        int shift = HuffDecodeTable::kLookupBits - len;
+        int32_t base = fill_code << shift;
+        if (base + (1 << shift) > (1 << HuffDecodeTable::kLookupBits)) {
+          t.valid = false;
+          break;
+        }
+        uint16_t entry = static_cast<uint16_t>((len << 8) | values[vi]);
+        for (int32_t j = 0; j < (1 << shift); ++j)
+          t.lookup[static_cast<size_t>(base + j)] = entry;
+        ++vi;
+        ++fill_code;
+      }
+      fill_code <<= 1;
+    }
+  }
   return t;
 }
 

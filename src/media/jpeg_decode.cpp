@@ -12,14 +12,41 @@ support::Status bad(const char* what) {
   return support::invalid_argument(std::string("JPEG decode: ") + what);
 }
 
-// ---- bit reader with 0xFF00 unstuffing and RSTn awareness --------------------
+support::Status bad(const std::string& what) {
+  return support::invalid_argument("JPEG decode: " + what);
+}
 
-class BitReader {
+// Why entropy data ran out: a real marker (possibly a legitimate segment
+// end) versus plain truncation. Surfaced in decode errors so a chopped
+// stream is distinguishable from a corrupt one.
+enum class BitEnd { kNone, kMarker, kEof };
+
+support::Status entropy_error(BitEnd end, const char* what) {
+  switch (end) {
+    case BitEnd::kEof:
+      return bad(std::string(what) + " (entropy data truncated: unexpected "
+                                     "end of stream)");
+    case BitEnd::kMarker:
+      return bad(std::string(what) + " (entropy data cut short by a "
+                                     "marker)");
+    default:
+      return bad(what);
+  }
+}
+
+// ---- reference bit reader: one byte at a time, bit-serial ------------------
+//
+// The original decoder path, kept as the equivalence baseline for tests
+// and as the "before" leg of the decode microbench. Handles 0xFF00
+// unstuffing and stops at real markers.
+
+class RefBitReader {
  public:
-  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  RefBitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   void set_pos(size_t pos) { pos_ = pos; }
   size_t pos() const { return pos_; }
+  BitEnd end_reason() const { return end_; }
 
   // Returns -1 on end of data / marker encountered.
   int next_bit() {
@@ -49,7 +76,16 @@ class BitReader {
     uint8_t m = data_[pos_ + 1];
     if (m != static_cast<uint8_t>(kRST0 + (expected_index & 7))) return false;
     pos_ += 2;
+    end_ = BitEnd::kNone;
     return true;
+  }
+
+  // True when only byte-alignment padding remains buffered and the next
+  // bytes in the stream are the given marker.
+  bool at_trailing_marker(uint8_t marker) const {
+    if (nbits_ >= 8) return false;  // whole undecoded entropy bytes remain
+    return pos_ + 1 < size_ && data_[pos_] == 0xff &&
+           data_[pos_ + 1] == marker;
   }
 
  private:
@@ -63,13 +99,17 @@ class BitReader {
           nbits_ = 8;
           return true;
         }
-        return false;  // a real marker terminates entropy data
+        // A real marker terminates entropy data; a lone trailing 0xFF is
+        // a truncated marker.
+        end_ = pos_ + 1 < size_ ? BitEnd::kMarker : BitEnd::kEof;
+        return false;
       }
       ++pos_;
       acc_ = byte;
       nbits_ = 8;
       return true;
     }
+    end_ = BitEnd::kEof;
     return false;
   }
 
@@ -78,10 +118,12 @@ class BitReader {
   size_t pos_ = 0;
   uint32_t acc_ = 0;
   int nbits_ = 0;
+  BitEnd end_ = BitEnd::kNone;
 };
 
-// Decode one Huffman symbol (T.81 §F.2.2.3). Returns -1 on failure.
-int decode_symbol(BitReader& br, const HuffDecodeTable& t) {
+// Decode one Huffman symbol bit-serially (T.81 §F.2.2.3). Returns -1 on
+// failure.
+int decode_symbol(RefBitReader& br, const HuffDecodeTable& t) {
   int32_t code = br.next_bit();
   if (code < 0) return -1;
   for (int len = 1; len <= 16; ++len) {
@@ -99,6 +141,141 @@ int decode_symbol(BitReader& br, const HuffDecodeTable& t) {
   return -1;
 }
 
+// ---- fast bit reader: 64-bit accumulator with bulk refill ------------------
+//
+// Buffers up to 63 bits so a whole (symbol, magnitude-bits) pair is
+// usually served without touching memory management. Refill performs the
+// 0xFF00 unstuffing byte-by-byte but only runs every ~6 symbols; it never
+// buffers past a real marker, so buffered bits always belong to the
+// current entropy segment.
+
+class FastBitReader {
+ public:
+  FastBitReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  void set_pos(size_t pos) { pos_ = pos; }
+  size_t pos() const { return pos_; }
+  BitEnd end_reason() const { return end_; }
+  int bits() const { return nbits_; }
+
+  // Top up the accumulator to >= 57 bits or until the entropy segment
+  // ends (marker or EOF).
+  void refill() {
+    while (nbits_ <= 56) {
+      if (end_ != BitEnd::kNone) return;
+      if (pos_ >= size_) {
+        end_ = BitEnd::kEof;
+        return;
+      }
+      uint8_t byte = data_[pos_];
+      if (byte == 0xff) {
+        if (pos_ + 1 >= size_) {
+          end_ = BitEnd::kEof;  // truncated marker
+          return;
+        }
+        if (data_[pos_ + 1] != 0x00) {
+          end_ = BitEnd::kMarker;
+          return;
+        }
+        pos_ += 2;  // stuffed 0xff data byte
+      } else {
+        ++pos_;
+      }
+      acc_ = (acc_ << 8) | byte;
+      nbits_ += 8;
+    }
+  }
+
+  // Next `n` buffered bits MSB-first; requires 1 <= n <= bits().
+  uint32_t peek(int n) const {
+    return static_cast<uint32_t>(acc_ >> (nbits_ - n)) &
+           ((1u << n) - 1);
+  }
+  void consume(int n) { nbits_ -= n; }
+
+  int take_bit() {
+    --nbits_;
+    return static_cast<int>((acc_ >> nbits_) & 1);
+  }
+
+  // Read `n` <= 16 bits MSB-first; -1 on failure.
+  int32_t get_bits(int n) {
+    if (n == 0) return 0;
+    if (nbits_ < n) {
+      refill();
+      if (nbits_ < n) return -1;
+    }
+    uint32_t v = peek(n);
+    consume(n);
+    return static_cast<int32_t>(v);
+  }
+
+  // Align to a byte boundary and consume an expected RSTn marker. Any
+  // buffered bits are the pad bits of the final entropy byte before the
+  // marker (refill never crosses a marker), so dropping them realigns.
+  bool consume_restart(int expected_index) {
+    acc_ = 0;
+    nbits_ = 0;
+    if (pos_ + 1 >= size_) return false;
+    if (data_[pos_] != 0xff) return false;
+    uint8_t m = data_[pos_ + 1];
+    if (m != static_cast<uint8_t>(kRST0 + (expected_index & 7))) return false;
+    pos_ += 2;
+    end_ = BitEnd::kNone;
+    return true;
+  }
+
+  // True when only byte-alignment padding remains buffered and the next
+  // bytes in the stream are the given marker. Refill never crosses a
+  // marker, so after the final MCU the accumulator holds at most the pad
+  // bits of the last entropy byte.
+  bool at_trailing_marker(uint8_t marker) const {
+    if (nbits_ >= 8) return false;  // whole undecoded entropy bytes remain
+    return pos_ + 1 < size_ && data_[pos_] == 0xff &&
+           data_[pos_ + 1] == marker;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;  // low `nbits_` bits valid, stream order MSB-first
+  int nbits_ = 0;
+  BitEnd end_ = BitEnd::kNone;
+};
+
+// Decode one Huffman symbol: single table probe for codes <= 8 bits, the
+// canonical walk for the rest. Returns -1 on failure.
+int decode_symbol(FastBitReader& br, const HuffDecodeTable& t) {
+  if (br.bits() < 16) br.refill();
+  if (br.bits() >= HuffDecodeTable::kLookupBits) {
+    uint16_t entry = t.lookup[br.peek(HuffDecodeTable::kLookupBits)];
+    if (entry != 0) {
+      br.consume(entry >> 8);
+      return entry & 0xff;
+    }
+  }
+  // Long codes (and the final few symbols when fewer than 8 bits remain
+  // before the segment end): bit-serial canonical walk.
+  int32_t code = 0;
+  for (int len = 1; len <= 16; ++len) {
+    if (br.bits() == 0) {
+      br.refill();
+      if (br.bits() == 0) return -1;
+    }
+    code = (code << 1) | br.take_bit();
+    if (t.max_code[static_cast<size_t>(len)] >= 0 &&
+        code <= t.max_code[static_cast<size_t>(len)]) {
+      int idx = t.val_ptr[static_cast<size_t>(len)] +
+                (code - t.min_code[static_cast<size_t>(len)]);
+      if (idx < 0 || idx >= static_cast<int>(t.values.size())) return -1;
+      return t.values[static_cast<size_t>(idx)];
+    }
+  }
+  return -1;
+}
+
 // Sign-extend a `nbits`-wide magnitude value (T.81 EXTEND).
 inline int extend(int v, int nbits) {
   return v < (1 << (nbits - 1)) ? v - (1 << nbits) + 1 : v;
@@ -112,10 +289,99 @@ struct FrameComponent {
   int dc_pred = 0;
 };
 
+// Entropy-decode the single interleaved scan into `img`. Shared between
+// the table-driven and bit-serial readers; both must produce identical
+// coefficients (asserted by tests).
+template <class Reader>
+support::Status decode_scan(
+    Reader& br, std::vector<FrameComponent>& comps,
+    const std::array<std::array<uint16_t, 64>, 4>& quant_tables,
+    const std::array<HuffDecodeTable, 4>& dc_tables,
+    const std::array<HuffDecodeTable, 4>& ac_tables, int mcus_x, int mcus_y,
+    int restart_interval, CoeffImage& img) {
+  int mcu_count = 0;
+  int restart_index = 0;
+  for (int my = 0; my < mcus_y; ++my) {
+    for (int mx = 0; mx < mcus_x; ++mx) {
+      if (restart_interval && mcu_count == restart_interval) {
+        if (!br.consume_restart(restart_index)) return bad("missing RSTn");
+        restart_index = (restart_index + 1) & 7;
+        mcu_count = 0;
+        for (FrameComponent& c : comps) c.dc_pred = 0;
+      }
+      for (size_t ci = 0; ci < comps.size(); ++ci) {
+        FrameComponent& c = comps[ci];
+        const HuffDecodeTable& dct = dc_tables[static_cast<size_t>(c.dc_table)];
+        const HuffDecodeTable& act = ac_tables[static_cast<size_t>(c.ac_table)];
+        if (!dct.valid || !act.valid) return bad("missing Huffman table");
+        const auto& q = quant_tables[static_cast<size_t>(c.quant_id)];
+        CoeffPlane& cp = img.comps[ci];
+        for (int sy = 0; sy < c.v; ++sy) {
+          for (int sx = 0; sx < c.h; ++sx) {
+            int bx = mx * c.h + sx;
+            int by = my * c.v + sy;
+            auto& block =
+                cp.blocks[static_cast<size_t>(by) * cp.blocks_w + bx];
+            // Zero here (not at allocation) so reused coefficient
+            // buffers never take a full-image memset; the store is
+            // cache-hot since the coefficients land right after.
+            block.fill(0);
+
+            // DC.
+            int s = decode_symbol(br, dct);
+            if (s < 0 || s > 11)
+              return entropy_error(br.end_reason(), "bad DC symbol");
+            int diff = 0;
+            if (s > 0) {
+              int32_t bits = br.get_bits(s);
+              if (bits < 0)
+                return entropy_error(br.end_reason(), "truncated DC bits");
+              diff = extend(bits, s);
+            }
+            c.dc_pred += diff;
+            block[0] = static_cast<int16_t>(c.dc_pred * q[0]);
+            if (c.dc_pred != 0) ++img.nonzero_coeffs;
+
+            // AC.
+            int k = 1;
+            while (k < 64) {
+              int rs = decode_symbol(br, act);
+              if (rs < 0)
+                return entropy_error(br.end_reason(), "bad AC symbol");
+              int run = rs >> 4;
+              int sbits = rs & 0x0f;
+              if (sbits == 0) {
+                if (run == 15) {
+                  k += 16;  // ZRL
+                  continue;
+                }
+                break;  // EOB
+              }
+              k += run;
+              if (k > 63) return bad("AC run overflows block");
+              int32_t bits = br.get_bits(sbits);
+              if (bits < 0)
+                return entropy_error(br.end_reason(), "truncated AC bits");
+              int v = extend(bits, sbits);
+              block[kZigZag[k]] =
+                  static_cast<int16_t>(v * q[kZigZag[k]]);
+              ++img.nonzero_coeffs;
+              ++k;
+            }
+          }
+        }
+      }
+      ++mcu_count;
+    }
+  }
+  return support::Status::ok();
+}
+
 // ---- inverse DCT ---------------------------------------------------------------
 
+// Float reference tables: scale(u) * cos[(2x+1) u pi / 16], indexed [x][u].
 struct IdctTables {
-  float c[8][8];  // scale(u) * cos[(2x+1) u pi / 16], indexed [x][u]
+  float c[8][8];
   IdctTables() {
     for (int x = 0; x < 8; ++x) {
       for (int u = 0; u < 8; ++u) {
@@ -132,7 +398,93 @@ const IdctTables& idct_tables() {
   return t;
 }
 
-void idct_block(const int16_t in[64], float out[64]) {
+// ---- fixed-point AAN IDCT ----------------------------------------------------
+//
+// Arai-Agui-Nakajima separable 8-point IDCT (the jidctfst flowgraph): 5
+// multiplies + 29 adds per 1-D pass instead of 64 multiply-accumulates.
+// Inputs are pre-scaled by s[u]*s[v] (s[0] = 1, s[k] = sqrt(2) cos(k
+// pi/16)) folded into one 3.12 fixed-point multiplier table built once;
+// the flowgraph then needs only four irrational constants. 64-bit
+// intermediates keep the whole computation exact to well under 1 LSB of
+// the float reference (asserted by tests).
+
+constexpr int kAanPrescaleBits = 14;
+constexpr int kAanConstBits = 14;
+constexpr int kAanPass1Shift = 5;   // pass-1 descale: 2^14 -> 2^9
+constexpr int kAanFinalShift = 12;  // 2^9 * 8 (flowgraph gain) = 2^12
+
+constexpr int32_t kFix1_414213562 = 23170;  // sqrt(2)          * 2^14
+constexpr int32_t kFix1_847759065 = 30274;  // 2 cos(pi/8)      * 2^14
+constexpr int32_t kFix1_082392200 = 17734;  // 2(cos(pi/8)-cos(3pi/8)) * 2^14
+constexpr int32_t kFix2_613125930 = 42813;  // 2(cos(pi/8)+cos(3pi/8)) * 2^14
+
+inline int64_t aan_mul(int64_t x, int32_t k) {
+  return (x * k + (1 << (kAanConstBits - 1))) >> kAanConstBits;
+}
+
+struct AanPrescale {
+  int32_t m[64];
+  AanPrescale() {
+    for (int v = 0; v < 8; ++v) {
+      for (int u = 0; u < 8; ++u) {
+        double sv = v == 0 ? 1.0 : std::sqrt(2.0) *
+                                       std::cos(v * 3.14159265358979323846 / 16);
+        double su = u == 0 ? 1.0 : std::sqrt(2.0) *
+                                       std::cos(u * 3.14159265358979323846 / 16);
+        m[v * 8 + u] = static_cast<int32_t>(
+            std::lround(sv * su * (1 << kAanPrescaleBits)));
+      }
+    }
+  }
+};
+
+const AanPrescale& aan_prescale() {
+  static const AanPrescale t;
+  return t;
+}
+
+// One AAN 1-D inverse pass on eight int64 inputs (in flowgraph order
+// 0..7 = frequencies), producing spatial samples x0..x7.
+inline void aan_pass(int64_t i0, int64_t i1, int64_t i2, int64_t i3,
+                     int64_t i4, int64_t i5, int64_t i6, int64_t i7,
+                     int64_t out[8]) {
+  // Even part.
+  int64_t tmp10 = i0 + i4;
+  int64_t tmp11 = i0 - i4;
+  int64_t tmp13 = i2 + i6;
+  int64_t tmp12 = aan_mul(i2 - i6, kFix1_414213562) - tmp13;
+  int64_t e0 = tmp10 + tmp13;
+  int64_t e3 = tmp10 - tmp13;
+  int64_t e1 = tmp11 + tmp12;
+  int64_t e2 = tmp11 - tmp12;
+
+  // Odd part.
+  int64_t z13 = i5 + i3;
+  int64_t z10 = i5 - i3;
+  int64_t z11 = i1 + i7;
+  int64_t z12 = i1 - i7;
+  int64_t o7 = z11 + z13;
+  int64_t t11 = aan_mul(z11 - z13, kFix1_414213562);
+  int64_t z5 = aan_mul(z10 + z12, kFix1_847759065);
+  int64_t t10 = aan_mul(z12, kFix1_082392200) - z5;
+  int64_t t12 = z5 - aan_mul(z10, kFix2_613125930);
+  int64_t o6 = t12 - o7;
+  int64_t o5 = t11 - o6;
+  int64_t o4 = t10 + o5;
+
+  out[0] = e0 + o7;
+  out[7] = e0 - o7;
+  out[1] = e1 + o6;
+  out[6] = e1 - o6;
+  out[2] = e2 + o5;
+  out[5] = e2 - o5;
+  out[4] = e3 + o4;
+  out[3] = e3 - o4;
+}
+
+}  // namespace
+
+void idct_block_float(const int16_t in[64], float out[64]) {
   const IdctTables& t = idct_tables();
   float tmp[64];
   // rows: for each row v, inverse over u
@@ -154,10 +506,53 @@ void idct_block(const int16_t in[64], float out[64]) {
   }
 }
 
-}  // namespace
+void idct_block_fixed(const int16_t in[64], uint8_t out[64]) {
+  const int32_t* m = aan_prescale().m;
+  int32_t ws[64];
+  int64_t v[8];
 
-support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
-                                                   size_t size) {
+  // Pass 1: columns, with the prescale multipliers folded into the load.
+  for (int c = 0; c < 8; ++c) {
+    if (in[8 + c] == 0 && in[16 + c] == 0 && in[24 + c] == 0 &&
+        in[32 + c] == 0 && in[40 + c] == 0 && in[48 + c] == 0 &&
+        in[56 + c] == 0) {
+      // All-AC-zero column: the flowgraph degenerates to a constant.
+      int32_t dc = static_cast<int32_t>(
+          (static_cast<int64_t>(in[c]) * m[c] + (1 << (kAanPass1Shift - 1)))
+          >> kAanPass1Shift);
+      for (int r = 0; r < 8; ++r) ws[r * 8 + c] = dc;
+      continue;
+    }
+    aan_pass(static_cast<int64_t>(in[c]) * m[c],
+             static_cast<int64_t>(in[8 + c]) * m[8 + c],
+             static_cast<int64_t>(in[16 + c]) * m[16 + c],
+             static_cast<int64_t>(in[24 + c]) * m[24 + c],
+             static_cast<int64_t>(in[32 + c]) * m[32 + c],
+             static_cast<int64_t>(in[40 + c]) * m[40 + c],
+             static_cast<int64_t>(in[48 + c]) * m[48 + c],
+             static_cast<int64_t>(in[56 + c]) * m[56 + c], v);
+    for (int r = 0; r < 8; ++r)
+      ws[r * 8 + c] = static_cast<int32_t>(
+          (v[r] + (1 << (kAanPass1Shift - 1))) >> kAanPass1Shift);
+  }
+
+  // Pass 2: rows, then descale, level-shift, clamp.
+  for (int r = 0; r < 8; ++r) {
+    const int32_t* w = ws + r * 8;
+    aan_pass(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], v);
+    uint8_t* o = out + r * 8;
+    for (int x = 0; x < 8; ++x) {
+      int p = static_cast<int>((v[x] + (1 << (kAanFinalShift - 1))) >>
+                               kAanFinalShift) +
+              128;
+      o[x] = static_cast<uint8_t>(p < 0 ? 0 : (p > 255 ? 255 : p));
+    }
+  }
+}
+
+support::Status decode_to_coefficients_into(const uint8_t* data, size_t size,
+                                            CoeffImage* out,
+                                            HuffmanImpl impl) {
   if (size < 4 || data[0] != 0xff || data[1] != kSOI)
     return bad("missing SOI marker");
 
@@ -299,13 +694,14 @@ support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
     }
   }
 
-  CoeffImage img;
+  CoeffImage& img = *out;
   img.width = width;
   img.height = height;
   img.format = comps.size() == 1
                    ? PixelFormat::kGray
                    : (yuv420 ? PixelFormat::kYuv420 : PixelFormat::kYuv444);
   img.compressed_bytes = size;
+  img.nonzero_coeffs = 0;
 
   const int h_max = yuv420 ? 2 : 1;
   const int v_max = yuv420 ? 2 : 1;
@@ -324,104 +720,83 @@ support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
     plane_dims(img.format, width, height, static_cast<int>(i), &pw, &ph);
     cp.width = pw;
     cp.height = ph;
-    cp.blocks.assign(
-        static_cast<size_t>(cp.blocks_w) * static_cast<size_t>(cp.blocks_h),
-        {});
+    // Size only; decode_scan zeroes each block as it reaches it, so a
+    // reused buffer (streaming MJPEG decode) skips the multi-megabyte
+    // cold memset + page-fault pass that would otherwise dominate.
+    cp.blocks.resize(
+        static_cast<size_t>(cp.blocks_w) * static_cast<size_t>(cp.blocks_h));
   }
 
   // --- entropy decode ---
-  BitReader br(data, size);
-  br.set_pos(scan_start);
-  int mcu_count = 0;
-  int restart_index = 0;
-  for (int my = 0; my < mcus_y; ++my) {
-    for (int mx = 0; mx < mcus_x; ++mx) {
-      if (restart_interval && mcu_count == restart_interval) {
-        if (!br.consume_restart(restart_index)) return bad("missing RSTn");
-        restart_index = (restart_index + 1) & 7;
-        mcu_count = 0;
-        for (FrameComponent& c : comps) c.dc_pred = 0;
-      }
-      for (size_t ci = 0; ci < comps.size(); ++ci) {
-        FrameComponent& c = comps[ci];
-        const HuffDecodeTable& dct = dc_tables[static_cast<size_t>(c.dc_table)];
-        const HuffDecodeTable& act = ac_tables[static_cast<size_t>(c.ac_table)];
-        if (!dct.valid || !act.valid) return bad("missing Huffman table");
-        const auto& q = quant_tables[static_cast<size_t>(c.quant_id)];
-        CoeffPlane& cp = img.comps[ci];
-        for (int sy = 0; sy < c.v; ++sy) {
-          for (int sx = 0; sx < c.h; ++sx) {
-            int bx = mx * c.h + sx;
-            int by = my * c.v + sy;
-            auto& block =
-                cp.blocks[static_cast<size_t>(by) * cp.blocks_w + bx];
-
-            // DC.
-            int s = decode_symbol(br, dct);
-            if (s < 0 || s > 11) return bad("bad DC symbol");
-            int diff = 0;
-            if (s > 0) {
-              int32_t bits = br.get_bits(s);
-              if (bits < 0) return bad("truncated DC bits");
-              diff = extend(bits, s);
-            }
-            c.dc_pred += diff;
-            block[0] = static_cast<int16_t>(c.dc_pred * q[0]);
-            if (c.dc_pred != 0) ++img.nonzero_coeffs;
-
-            // AC.
-            int k = 1;
-            while (k < 64) {
-              int rs = decode_symbol(br, act);
-              if (rs < 0) return bad("bad AC symbol");
-              int run = rs >> 4;
-              int sbits = rs & 0x0f;
-              if (sbits == 0) {
-                if (run == 15) {
-                  k += 16;  // ZRL
-                  continue;
-                }
-                break;  // EOB
-              }
-              k += run;
-              if (k > 63) return bad("AC run overflows block");
-              int32_t bits = br.get_bits(sbits);
-              if (bits < 0) return bad("truncated AC bits");
-              int v = extend(bits, sbits);
-              block[kZigZag[k]] =
-                  static_cast<int16_t>(v * q[kZigZag[k]]);
-              ++img.nonzero_coeffs;
-              ++k;
-            }
-          }
-        }
-      }
-      ++mcu_count;
-    }
+  if (impl == HuffmanImpl::kLookupTable) {
+    FastBitReader br(data, size);
+    br.set_pos(scan_start);
+    support::Status st =
+        decode_scan(br, comps, quant_tables, dc_tables, ac_tables, mcus_x,
+                    mcus_y, restart_interval, img);
+    if (!st.is_ok()) return st;
+    if (!br.at_trailing_marker(kEOI))
+      return bad("entropy data not terminated by EOI");
+  } else {
+    RefBitReader br(data, size);
+    br.set_pos(scan_start);
+    support::Status st =
+        decode_scan(br, comps, quant_tables, dc_tables, ac_tables, mcus_x,
+                    mcus_y, restart_interval, img);
+    if (!st.is_ok()) return st;
+    if (!br.at_trailing_marker(kEOI))
+      return bad("entropy data not terminated by EOI");
   }
+  return support::Status::ok();
+}
+
+support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
+                                                   size_t size,
+                                                   HuffmanImpl impl) {
+  CoeffImage img;
+  support::Status st = decode_to_coefficients_into(data, size, &img, impl);
+  if (!st.is_ok()) return st;
   return img;
 }
 
 void idct_component(const CoeffPlane& comp, PlaneView out, int block_row0,
-                    int block_row1) {
+                    int block_row1, IdctImpl impl) {
   SUP_CHECK(out.width == comp.width && out.height == comp.height);
   if (block_row0 < 0) block_row0 = 0;
   if (block_row1 > comp.blocks_h) block_row1 = comp.blocks_h;
-  float pixels[64];
-  for (int by = block_row0; by < block_row1; ++by) {
-    for (int bx = 0; bx < comp.blocks_w; ++bx) {
-      idct_block(
-          comp.blocks[static_cast<size_t>(by) * comp.blocks_w + bx].data(),
-          pixels);
-      const int y_end = std::min(8, comp.height - by * 8);
-      const int x_end = std::min(8, comp.width - bx * 8);
-      for (int y = 0; y < y_end; ++y) {
-        uint8_t* row = out.row(by * 8 + y) + bx * 8;
-        for (int x = 0; x < x_end; ++x) {
-          int v = static_cast<int>(std::lround(pixels[y * 8 + x])) + 128;
-          row[x] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  if (impl == IdctImpl::kFloatReference) {
+    float pixels[64];
+    for (int by = block_row0; by < block_row1; ++by) {
+      for (int bx = 0; bx < comp.blocks_w; ++bx) {
+        idct_block_float(
+            comp.blocks[static_cast<size_t>(by) * comp.blocks_w + bx].data(),
+            pixels);
+        const int y_end = std::min(8, comp.height - by * 8);
+        const int x_end = std::min(8, comp.width - bx * 8);
+        for (int y = 0; y < y_end; ++y) {
+          uint8_t* row = out.row(by * 8 + y) + bx * 8;
+          for (int x = 0; x < x_end; ++x) {
+            int v = static_cast<int>(std::lround(pixels[y * 8 + x])) + 128;
+            row[x] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+          }
         }
       }
+    }
+    return;
+  }
+  uint8_t pixels[64];
+  for (int by = block_row0; by < block_row1; ++by) {
+    const int y_end = std::min(8, comp.height - by * 8);
+    if (y_end <= 0) continue;
+    for (int bx = 0; bx < comp.blocks_w; ++bx) {
+      const int x_end = std::min(8, comp.width - bx * 8);
+      if (x_end <= 0) continue;  // padding block right of the plane
+      idct_block_fixed(
+          comp.blocks[static_cast<size_t>(by) * comp.blocks_w + bx].data(),
+          pixels);
+      for (int y = 0; y < y_end; ++y)
+        std::memcpy(out.row(by * 8 + y) + bx * 8, pixels + y * 8,
+                    static_cast<size_t>(x_end));
     }
   }
 }
@@ -438,13 +813,16 @@ support::Result<FramePtr> decode(const uint8_t* data, size_t size) {
 
 uint64_t entropy_decode_cycles(size_t compressed_bytes, size_t total_blocks) {
   // Bit-serial Huffman decoding: ~12 cycles per compressed byte plus fixed
-  // per-block bookkeeping.
+  // per-block bookkeeping. This models the simulated TriMedia-like core,
+  // NOT the host decoder — host-side optimizations must never change it
+  // (see docs/PERF.md).
   return static_cast<uint64_t>(compressed_bytes) * 12 +
          static_cast<uint64_t>(total_blocks) * 24;
 }
 
 uint64_t idct_cycles(uint64_t blocks) {
   // Separable 8-point IDCT: ~480 multiply-accumulates + clamp per block.
+  // Simulated-core cost; frozen independently of the host implementation.
   return blocks * 520;
 }
 

@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <cstring>
 
+// Hot-path structure: every kernel splits border columns/rows from the
+// interior so the inner loops run clamp-free on hoisted row pointers.
+// All variants must stay bit-identical to the straightforward scalar
+// formulation (tests/test_kernels_equiv.cpp pins them against unoptimized
+// references); the `*_cycles` companions model the simulated core and are
+// independent of these host-side optimizations (docs/PERF.md).
+
 namespace media {
 namespace {
 
@@ -14,20 +21,34 @@ inline int clampi(int v, int lo, int hi) {
 const int16_t kTaps3[3] = {70, 116, 70};
 const int16_t kTaps5[5] = {16, 62, 100, 62, 16};
 
-// Average of one factor x factor source box with rounding.
-inline uint8_t box_average(ConstPlaneView src, int sx, int sy, int factor) {
+inline uint8_t mix(uint8_t fg, uint8_t bg, int alpha256) {
+  int v = (fg * alpha256 + bg * (256 - alpha256) + 128) >> 8;
+  return static_cast<uint8_t>(v);
+}
+
+// Average of one factor x factor source box with rounding (generic-factor
+// fallback; row pointer hoisted out of the dx loop by the caller).
+inline uint8_t box_average_rows(const uint8_t* top, int stride, int factor) {
   unsigned sum = 0;
+  const uint8_t* row = top;
   for (int dy = 0; dy < factor; ++dy) {
-    const uint8_t* row = src.row(sy + dy) + sx;
     for (int dx = 0; dx < factor; ++dx) sum += row[dx];
+    row += stride;
   }
   unsigned n = static_cast<unsigned>(factor) * static_cast<unsigned>(factor);
   return static_cast<uint8_t>((sum + n / 2) / n);
 }
 
-inline uint8_t mix(uint8_t fg, uint8_t bg, int alpha256) {
-  int v = (fg * alpha256 + bg * (256 - alpha256) + 128) >> 8;
-  return static_cast<uint8_t>(v);
+// Horizontal taps over [x0, x1) with border clamping — used only for the
+// few columns within `r` of either edge.
+inline void blur_h_border(const uint8_t* in, uint8_t* out, int x0, int x1,
+                          const int16_t* taps, int r, int width) {
+  for (int x = x0; x < x1; ++x) {
+    int acc = 128;
+    for (int k = -r; k <= r; ++k)
+      acc += taps[k + r] * in[clampi(x + k, 0, width - 1)];
+    out[x] = static_cast<uint8_t>(acc >> 8);
+  }
 }
 
 }  // namespace
@@ -58,10 +79,50 @@ void downscale_box(ConstPlaneView src, PlaneView dst, int factor, int row0,
   SUP_CHECK(src.height >= dst.height * factor);
   row0 = clampi(row0, 0, dst.height);
   row1 = clampi(row1, 0, dst.height);
+  if (factor == 1) {
+    for (int y = row0; y < row1; ++y)
+      std::memcpy(dst.row(y), src.row(y), static_cast<size_t>(dst.width));
+    return;
+  }
+  if (factor == 2) {
+    for (int y = row0; y < row1; ++y) {
+      const uint8_t* a = src.row(y * 2);
+      const uint8_t* b = src.row(y * 2 + 1);
+      uint8_t* out = dst.row(y);
+      for (int x = 0; x < dst.width; ++x) {
+        unsigned sum = static_cast<unsigned>(a[0]) + a[1] + b[0] + b[1];
+        out[x] = static_cast<uint8_t>((sum + 2) >> 2);
+        a += 2;
+        b += 2;
+      }
+    }
+    return;
+  }
+  if (factor == 4) {
+    for (int y = row0; y < row1; ++y) {
+      const uint8_t* r0 = src.row(y * 4);
+      const uint8_t* r1 = src.row(y * 4 + 1);
+      const uint8_t* r2 = src.row(y * 4 + 2);
+      const uint8_t* r3 = src.row(y * 4 + 3);
+      uint8_t* out = dst.row(y);
+      for (int x = 0; x < dst.width; ++x) {
+        unsigned sum = 0;
+        for (int i = 0; i < 4; ++i)
+          sum += static_cast<unsigned>(r0[i]) + r1[i] + r2[i] + r3[i];
+        out[x] = static_cast<uint8_t>((sum + 8) >> 4);
+        r0 += 4;
+        r1 += 4;
+        r2 += 4;
+        r3 += 4;
+      }
+    }
+    return;
+  }
   for (int y = row0; y < row1; ++y) {
+    const uint8_t* top = src.row(y * factor);
     uint8_t* out = dst.row(y);
     for (int x = 0; x < dst.width; ++x)
-      out[x] = box_average(src, x * factor, y * factor, factor);
+      out[x] = box_average_rows(top + x * factor, src.stride, factor);
   }
 }
 
@@ -80,11 +141,13 @@ void blend(ConstPlaneView fg, PlaneView dst, int dst_x, int dst_y,
   int y_end = std::min({row1, dst_y + fg.height, dst.height});
   int x_begin = std::max(dst_x, 0);
   int x_end = std::min(dst_x + fg.width, dst.width);
+  const int n = x_end - x_begin;
+  if (n <= 0) return;
   for (int y = y_begin; y < y_end; ++y) {
-    const uint8_t* src_row = fg.row(y - dst_y);
-    uint8_t* dst_row = dst.row(y);
-    for (int x = x_begin; x < x_end; ++x)
-      dst_row[x] = mix(src_row[x - dst_x], dst_row[x], alpha256);
+    const uint8_t* src_row = fg.row(y - dst_y) + (x_begin - dst_x);
+    uint8_t* dst_row = dst.row(y) + x_begin;
+    for (int x = 0; x < n; ++x)
+      dst_row[x] = mix(src_row[x], dst_row[x], alpha256);
   }
 }
 
@@ -97,17 +160,51 @@ uint64_t blend_cycles(int fg_width, int fg_rows) {
 
 void downscale_blend(ConstPlaneView src, PlaneView dst, int factor, int dst_x,
                      int dst_y, int alpha256, int row0, int row1) {
+  // Same preconditions as the unfused pair, so fused and unfused paths
+  // fail identically on bad wiring.
+  SUP_CHECK(factor >= 1);
+  SUP_CHECK(alpha256 >= 0 && alpha256 <= 256);
   const int out_w = src.width / factor;
   const int out_h = src.height / factor;
+  SUP_CHECK(src.width >= out_w * factor);
+  SUP_CHECK(src.height >= out_h * factor);
   int y_begin = std::max({row0, dst_y, 0});
   int y_end = std::min({row1, dst_y + out_h, dst.height});
   int x_begin = std::max(dst_x, 0);
   int x_end = std::min(dst_x + out_w, dst.width);
+  if (x_end <= x_begin) return;
+  const int n = x_end - x_begin;
+  if (factor == 1) {
+    for (int y = y_begin; y < y_end; ++y) {
+      const uint8_t* src_row = src.row(y - dst_y) + (x_begin - dst_x);
+      uint8_t* dst_row = dst.row(y) + x_begin;
+      for (int x = 0; x < n; ++x)
+        dst_row[x] = mix(src_row[x], dst_row[x], alpha256);
+    }
+    return;
+  }
+  if (factor == 2) {
+    for (int y = y_begin; y < y_end; ++y) {
+      const int sy = (y - dst_y) * 2;
+      const uint8_t* a = src.row(sy) + (x_begin - dst_x) * 2;
+      const uint8_t* b = src.row(sy + 1) + (x_begin - dst_x) * 2;
+      uint8_t* dst_row = dst.row(y);
+      for (int x = x_begin; x < x_end; ++x) {
+        unsigned sum = static_cast<unsigned>(a[0]) + a[1] + b[0] + b[1];
+        uint8_t v = static_cast<uint8_t>((sum + 2) >> 2);
+        dst_row[x] = mix(v, dst_row[x], alpha256);
+        a += 2;
+        b += 2;
+      }
+    }
+    return;
+  }
   for (int y = y_begin; y < y_end; ++y) {
     uint8_t* dst_row = dst.row(y);
-    const int sy = (y - dst_y) * factor;
+    const uint8_t* top = src.row((y - dst_y) * factor);
     for (int x = x_begin; x < x_end; ++x) {
-      uint8_t v = box_average(src, (x - dst_x) * factor, sy, factor);
+      uint8_t v = box_average_rows(top + (x - dst_x) * factor, src.stride,
+                                   factor);
       dst_row[x] = mix(v, dst_row[x], alpha256);
     }
   }
@@ -135,31 +232,77 @@ void blur_h(ConstPlaneView src, PlaneView dst, int kernel_size, int row0,
   const int r = kernel_size / 2;
   row0 = clampi(row0, 0, dst.height);
   row1 = clampi(row1, 0, dst.height);
+  const int w = dst.width;
+  if (w <= 2 * r) {  // degenerate: every column is a border column
+    for (int y = row0; y < row1; ++y)
+      blur_h_border(src.row(y), dst.row(y), 0, w, taps, r, w);
+    return;
+  }
+  if (kernel_size == 3) {
+    const int t0 = kTaps3[0], t1 = kTaps3[1], t2 = kTaps3[2];
+    for (int y = row0; y < row1; ++y) {
+      const uint8_t* in = src.row(y);
+      uint8_t* out = dst.row(y);
+      blur_h_border(in, out, 0, 1, taps, r, w);
+      for (int x = 1; x < w - 1; ++x) {
+        int acc = 128 + t0 * in[x - 1] + t1 * in[x] + t2 * in[x + 1];
+        out[x] = static_cast<uint8_t>(acc >> 8);
+      }
+      blur_h_border(in, out, w - 1, w, taps, r, w);
+    }
+    return;
+  }
+  const int t0 = kTaps5[0], t1 = kTaps5[1], t2 = kTaps5[2], t3 = kTaps5[3],
+            t4 = kTaps5[4];
   for (int y = row0; y < row1; ++y) {
     const uint8_t* in = src.row(y);
     uint8_t* out = dst.row(y);
-    for (int x = 0; x < dst.width; ++x) {
-      int acc = 128;
-      for (int k = -r; k <= r; ++k)
-        acc += taps[k + r] * in[clampi(x + k, 0, src.width - 1)];
+    blur_h_border(in, out, 0, 2, taps, r, w);
+    for (int x = 2; x < w - 2; ++x) {
+      int acc = 128 + t0 * in[x - 2] + t1 * in[x - 1] + t2 * in[x] +
+                t3 * in[x + 1] + t4 * in[x + 2];
       out[x] = static_cast<uint8_t>(acc >> 8);
     }
+    blur_h_border(in, out, w - 2, w, taps, r, w);
   }
 }
 
 void blur_v(ConstPlaneView src, PlaneView dst, int kernel_size, int row0,
             int row1) {
   SUP_CHECK(src.width == dst.width && src.height == dst.height);
-  const int16_t* taps = gaussian_taps(kernel_size);
-  const int r = kernel_size / 2;
+  (void)gaussian_taps(kernel_size);  // validates kernel_size
   row0 = clampi(row0, 0, dst.height);
   row1 = clampi(row1, 0, dst.height);
+  const int w = dst.width;
+  const int hmax = src.height - 1;
+  // Row pointers are clamped once per output row (border rows reuse the
+  // edge row), so the per-pixel loop is clamp-free for every row.
+  if (kernel_size == 3) {
+    const int t0 = kTaps3[0], t1 = kTaps3[1], t2 = kTaps3[2];
+    for (int y = row0; y < row1; ++y) {
+      const uint8_t* ra = src.row(clampi(y - 1, 0, hmax));
+      const uint8_t* rb = src.row(y);
+      const uint8_t* rc = src.row(clampi(y + 1, 0, hmax));
+      uint8_t* out = dst.row(y);
+      for (int x = 0; x < w; ++x) {
+        int acc = 128 + t0 * ra[x] + t1 * rb[x] + t2 * rc[x];
+        out[x] = static_cast<uint8_t>(acc >> 8);
+      }
+    }
+    return;
+  }
+  const int t0 = kTaps5[0], t1 = kTaps5[1], t2 = kTaps5[2], t3 = kTaps5[3],
+            t4 = kTaps5[4];
   for (int y = row0; y < row1; ++y) {
+    const uint8_t* ra = src.row(clampi(y - 2, 0, hmax));
+    const uint8_t* rb = src.row(clampi(y - 1, 0, hmax));
+    const uint8_t* rc = src.row(y);
+    const uint8_t* rd = src.row(clampi(y + 1, 0, hmax));
+    const uint8_t* re = src.row(clampi(y + 2, 0, hmax));
     uint8_t* out = dst.row(y);
-    for (int x = 0; x < dst.width; ++x) {
-      int acc = 128;
-      for (int k = -r; k <= r; ++k)
-        acc += taps[k + r] * src.row(clampi(y + k, 0, src.height - 1))[x];
+    for (int x = 0; x < w; ++x) {
+      int acc = 128 + t0 * ra[x] + t1 * rb[x] + t2 * rc[x] + t3 * rd[x] +
+                t4 * re[x];
       out[x] = static_cast<uint8_t>(acc >> 8);
     }
   }
