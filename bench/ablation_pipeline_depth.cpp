@@ -5,7 +5,19 @@
 // (better scaling) but enlarge the live working set (more stream slots
 // -> more cache pressure), which is the §4.1 locality-vs-parallelism
 // discussion in its purest form.
+//
+// The (window x app) grid runs on the parallel sweep driver; each point
+// rebuilds its Program with a matching stream depth.
 #include "bench_util.hpp"
+
+namespace {
+
+struct Meas {
+  uint64_t cycles;
+  uint64_t fetches;
+};
+
+}  // namespace
 
 int main() {
   std::printf("Ablation: pipeline depth (JPiP-1 and Blur-3, 4 cores)\n");
@@ -16,25 +28,37 @@ int main() {
   jc.frames = 16;
   apps::BlurConfig bc = bench::paper_blur(3);
   bc.frames = 48;
-  for (int window = 1; window <= 8; ++window) {
-    // Rebuild with a matching stream depth: the window is clamped to it.
-    components::register_standard_globally();
-    hinch::BuildConfig build;
-    build.stream_depth = window;
-    auto jp = xspcl::build_program(apps::jpip_xspcl(jc),
-                                   hinch::ComponentRegistry::global(), build);
-    auto bp = xspcl::build_program(apps::blur_xspcl(bc),
-                                   hinch::ComponentRegistry::global(), build);
-    SUP_CHECK(jp.is_ok() && bp.is_ok());
-    hinch::SimResult jr =
-        bench::run_sim(*jp.value(), jc.frames, 4, true, window);
-    hinch::SimResult br =
-        bench::run_sim(*bp.value(), bc.frames, 4, true, window);
+  const std::string jpip_spec = apps::jpip_xspcl(jc);
+  const std::string blur_spec = apps::blur_xspcl(bc);
+
+  constexpr int kMaxWindow = 8;
+  // Even points: JPiP; odd points: Blur. Window = idx / 2 + 1.
+  std::vector<Meas> meas =
+      bench::parallel_sweep(2 * kMaxWindow, [&](int idx) -> Meas {
+        int window = idx / 2 + 1;
+        bool jpip = idx % 2 == 0;
+        // Rebuild with a matching stream depth: the window is clamped
+        // to it.
+        components::register_standard_globally();
+        hinch::BuildConfig build;
+        build.stream_depth = window;
+        auto prog = xspcl::build_program(jpip ? jpip_spec : blur_spec,
+                                         hinch::ComponentRegistry::global(),
+                                         build);
+        SUP_CHECK(prog.is_ok());
+        hinch::SimResult r = bench::run_sim(
+            *prog.value(), jpip ? jc.frames : bc.frames, 4, true, window);
+        return Meas{r.total_cycles, r.mem.mem_fetches};
+      });
+
+  for (int window = 1; window <= kMaxWindow; ++window) {
+    const Meas& jr = meas[static_cast<size_t>(2 * (window - 1))];
+    const Meas& br = meas[static_cast<size_t>(2 * (window - 1) + 1)];
     std::printf("%-8d %18.1f %16.1f %18.1f %16.1f\n", window,
-                bench::mcycles(jr.total_cycles),
-                static_cast<double>(jr.mem.mem_fetches) / 1e3,
-                bench::mcycles(br.total_cycles),
-                static_cast<double>(br.mem.mem_fetches) / 1e3);
+                bench::mcycles(jr.cycles),
+                static_cast<double>(jr.fetches) / 1e3,
+                bench::mcycles(br.cycles),
+                static_cast<double>(br.fetches) / 1e3);
   }
   std::printf(
       "\nExpected: cycles drop as the window opens (pipeline parallelism)\n"

@@ -4,62 +4,86 @@
 // Profiles each application for a few iterations on one simulated core,
 // evaluates the SPC contention model for 1..9 processors, and compares
 // against the measured simulator speedups.
+//
+// The (app x cores) measurement grid runs on the parallel sweep driver;
+// each point builds its own Program. The analytic predictions are
+// evaluated afterwards from the profile points.
 #include "bench_util.hpp"
 #include "perf/predict.hpp"
 
 namespace {
 
-void run_app(const std::string& name, const std::string& spec,
-             int64_t frames) {
-  auto prog = bench::build_program(spec);
-
-  // Profile.
-  hinch::SimResult base =
-      bench::run_sim(*prog, std::min<int64_t>(frames, 12), 1,
-                     /*sync_costs=*/false);
-  std::vector<double> cost(base.task_cycles.size(), 0);
-  for (size_t i = 0; i < cost.size(); ++i)
-    if (base.task_runs[i])
-      cost[i] = static_cast<double>(base.task_cycles[i]) /
-                static_cast<double>(base.task_runs[i]);
-
-  uint64_t t1 =
-      bench::run_sim(*prog, frames, 1, /*sync_costs=*/false).total_cycles;
-  perf::Prediction p1 = perf::predict_from_profile(*prog, cost, 1);
-
-  std::printf("%s:\n", name.c_str());
-  std::printf("  %-6s %12s %12s %10s\n", "cores", "measured", "predicted",
-              "error");
-  for (int cores = 1; cores <= 9; ++cores) {
-    uint64_t t = cores == 1
-                     ? t1
-                     : bench::run_sim(*prog, frames, cores).total_cycles;
-    double measured = static_cast<double>(t1) / static_cast<double>(t);
-    perf::Prediction pc = perf::predict_from_profile(*prog, cost, cores);
-    double predicted = p1.total(frames) / pc.total(frames);
-    std::printf("  %-6d %12.2f %12.2f %9.1f%%\n", cores, measured, predicted,
-                100.0 * (predicted - measured) / measured);
-  }
-}
+struct AppDef {
+  std::string name;
+  std::string spec;
+  int64_t frames;
+};
 
 }  // namespace
 
 int main() {
   std::printf("Ablation: SPC prediction vs simulator (speedups)\n\n");
+
+  std::vector<AppDef> defs;
   {
     apps::PipConfig c = bench::paper_pip(1);
     c.frames = 48;
-    run_app("PiP-1", apps::pip_xspcl(c), c.frames);
+    defs.push_back({"PiP-1", apps::pip_xspcl(c), c.frames});
   }
   {
     apps::JpipConfig c = bench::paper_jpip(1);
     c.frames = 12;
-    run_app("JPiP-1", apps::jpip_xspcl(c), c.frames);
+    defs.push_back({"JPiP-1", apps::jpip_xspcl(c), c.frames});
   }
   {
     apps::BlurConfig c = bench::paper_blur(3);
     c.frames = 48;
-    run_app("Blur-3", apps::blur_xspcl(c), c.frames);
+    defs.push_back({"Blur-3", apps::blur_xspcl(c), c.frames});
+  }
+
+  // Per app, 10 points: the short profiling run, then full runs on
+  // 1..9 cores (sync costs off at 1 core).
+  constexpr int kPerApp = 10;
+  std::vector<hinch::SimResult> meas = bench::parallel_sweep(
+      static_cast<int>(defs.size()) * kPerApp,
+      [&](int idx) -> hinch::SimResult {
+        const AppDef& d = defs[static_cast<size_t>(idx / kPerApp)];
+        int j = idx % kPerApp;
+        auto prog = bench::build_program(d.spec);
+        if (j == 0)
+          return bench::run_sim(*prog, std::min<int64_t>(d.frames, 12), 1,
+                                /*sync_costs=*/false);
+        if (j == 1)
+          return bench::run_sim(*prog, d.frames, 1, /*sync_costs=*/false);
+        return bench::run_sim(*prog, d.frames, j);
+      });
+
+  for (size_t a = 0; a < defs.size(); ++a) {
+    const AppDef& d = defs[a];
+    const hinch::SimResult* row = &meas[a * kPerApp];
+    const hinch::SimResult& base = row[0];
+    std::vector<double> cost(base.task_cycles.size(), 0);
+    for (size_t i = 0; i < cost.size(); ++i)
+      if (base.task_runs[i])
+        cost[i] = static_cast<double>(base.task_cycles[i]) /
+                  static_cast<double>(base.task_runs[i]);
+
+    // The prediction model only needs the program's task graph.
+    auto prog = bench::build_program(d.spec);
+    uint64_t t1 = row[1].total_cycles;
+    perf::Prediction p1 = perf::predict_from_profile(*prog, cost, 1);
+
+    std::printf("%s:\n", d.name.c_str());
+    std::printf("  %-6s %12s %12s %10s\n", "cores", "measured", "predicted",
+                "error");
+    for (int cores = 1; cores <= 9; ++cores) {
+      uint64_t t = cores == 1 ? t1 : row[cores].total_cycles;
+      double measured = static_cast<double>(t1) / static_cast<double>(t);
+      perf::Prediction pc = perf::predict_from_profile(*prog, cost, cores);
+      double predicted = p1.total(d.frames) / pc.total(d.frames);
+      std::printf("  %-6d %12.2f %12.2f %9.1f%%\n", cores, measured,
+                  predicted, 100.0 * (predicted - measured) / measured);
+    }
   }
   std::printf(
       "\nExpected: the analytic model tracks the simulator within a\n"

@@ -4,7 +4,19 @@
 // serial resource; this sweep scales the lock cost to show when the
 // design would stop scaling — the implicit assumption behind the paper's
 // 9-core results.
+//
+// The (lock cost x cores) grid runs on the parallel sweep driver; each
+// point builds its own Program.
 #include "bench_util.hpp"
+
+namespace {
+
+struct Meas {
+  uint64_t total;
+  uint64_t wait;
+};
+
+}  // namespace
 
 int main() {
   std::printf("Ablation: queue lock cost vs scaling (PiP-1, 48 frames)\n");
@@ -13,27 +25,34 @@ int main() {
 
   apps::PipConfig c = bench::paper_pip(1);
   c.frames = 48;
-  auto prog = bench::build_program(apps::pip_xspcl(c));
+  const std::string spec = apps::pip_xspcl(c);
 
-  for (uint64_t lock : {0ull, 60ull, 240ull, 960ull, 3840ull}) {
-    double t[3];
-    double wait_pct = 0;
-    int idx = 0;
-    for (int cores : {1, 4, 9}) {
-      hinch::RunConfig run;
-      run.iterations = c.frames;
-      hinch::SimParams sim;
-      sim.cores = cores;
-      sim.queue_lock_cycles = lock;
-      hinch::SimResult r = hinch::run_on_sim(*prog, run, sim);
-      t[idx++] = bench::mcycles(r.total_cycles);
-      if (cores == 9)
-        wait_pct = 100.0 * static_cast<double>(r.queue_wait_cycles) /
-                   static_cast<double>(r.total_cycles);
-    }
+  const std::vector<uint64_t> locks = {0, 60, 240, 960, 3840};
+  const std::vector<int> core_counts = {1, 4, 9};
+  const int per_lock = static_cast<int>(core_counts.size());
+
+  std::vector<Meas> meas = bench::parallel_sweep(
+      static_cast<int>(locks.size()) * per_lock, [&](int idx) -> Meas {
+        uint64_t lock = locks[static_cast<size_t>(idx / per_lock)];
+        int cores = core_counts[static_cast<size_t>(idx % per_lock)];
+        auto prog = bench::build_program(spec);
+        hinch::RunConfig run;
+        run.iterations = c.frames;
+        hinch::SimParams sim;
+        sim.cores = cores;
+        sim.queue_lock_cycles = lock;
+        hinch::SimResult r = hinch::run_on_sim(*prog, run, sim);
+        return Meas{r.total_cycles, r.queue_wait_cycles};
+      });
+
+  for (size_t l = 0; l < locks.size(); ++l) {
+    const Meas* row = &meas[l * static_cast<size_t>(per_lock)];
+    double wait_pct = 100.0 * static_cast<double>(row[2].wait) /
+                      static_cast<double>(row[2].total);
     std::printf("%-12llu %12.1f %12.1f %12.1f %13.1f%%\n",
-                static_cast<unsigned long long>(lock), t[0], t[1], t[2],
-                wait_pct);
+                static_cast<unsigned long long>(locks[l]),
+                bench::mcycles(row[0].total), bench::mcycles(row[1].total),
+                bench::mcycles(row[2].total), wait_pct);
   }
   std::printf(
       "\nExpected: at the paper-scale lock cost the queue is invisible;\n"

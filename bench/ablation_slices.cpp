@@ -3,6 +3,8 @@
 // The paper picks 8 slices for PiP (720x576) and 9 for Blur (360x288).
 // This sweep shows why: too few slices starve the cores, too many buy
 // nothing further and add per-job scheduling overhead.
+//
+// The (slices x app) grid runs on the parallel sweep driver.
 #include "bench_util.hpp"
 
 int main() {
@@ -10,20 +12,29 @@ int main() {
   std::printf("%-8s %16s %16s\n", "slices", "PiP-1 Mcycles",
               "Blur-3 Mcycles");
 
-  for (int slices : {1, 2, 4, 8, 16, 32, 64}) {
-    apps::PipConfig pc = bench::paper_pip(1);
-    pc.slices = slices;
-    pc.frames = 48;
-    apps::BlurConfig bc = bench::paper_blur(3);
-    bc.slices = slices;
-    bc.frames = 48;
-    auto pp = bench::build_program(apps::pip_xspcl(pc));
-    auto bp = bench::build_program(apps::blur_xspcl(bc));
-    uint64_t pt = bench::run_sim(*pp, pc.frames, 8).total_cycles;
-    uint64_t bt = bench::run_sim(*bp, bc.frames, 8).total_cycles;
-    std::printf("%-8d %16.1f %16.1f\n", slices, bench::mcycles(pt),
-                bench::mcycles(bt));
-  }
+  const std::vector<int> slice_counts = {1, 2, 4, 8, 16, 32, 64};
+  // Even points: PiP; odd points: Blur. Slice count = slice_counts[idx/2].
+  std::vector<uint64_t> cycles = bench::parallel_sweep(
+      static_cast<int>(slice_counts.size()) * 2, [&](int idx) -> uint64_t {
+        int slices = slice_counts[static_cast<size_t>(idx / 2)];
+        if (idx % 2 == 0) {
+          apps::PipConfig pc = bench::paper_pip(1);
+          pc.slices = slices;
+          pc.frames = 48;
+          auto prog = bench::build_program(apps::pip_xspcl(pc));
+          return bench::run_sim(*prog, pc.frames, 8).total_cycles;
+        }
+        apps::BlurConfig bc = bench::paper_blur(3);
+        bc.slices = slices;
+        bc.frames = 48;
+        auto prog = bench::build_program(apps::blur_xspcl(bc));
+        return bench::run_sim(*prog, bc.frames, 8).total_cycles;
+      });
+
+  for (size_t i = 0; i < slice_counts.size(); ++i)
+    std::printf("%-8d %16.1f %16.1f\n", slice_counts[i],
+                bench::mcycles(cycles[2 * i]),
+                bench::mcycles(cycles[2 * i + 1]));
   std::printf(
       "\nExpected: a sweet spot around the paper's choices; beyond it the\n"
       "extra jobs only add central-queue and dispatch overhead.\n");

@@ -8,12 +8,12 @@
 // — see docs/PERF.md for the split.
 //
 // Usage: bench_media [output.json]   (default ./BENCH_kernels.json)
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "media/frame.hpp"
 #include "media/jpeg.hpp"
 #include "media/kernels.hpp"
@@ -23,63 +23,13 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using bench::best_ms;
 
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
-      .count();
-}
-
-// Best-of-N wall-clock of `fn` (after one untimed warmup run).
-template <typename Fn>
-double best_ms(int reps, Fn&& fn) {
-  fn();
-  double best = 1e300;
-  for (int i = 0; i < reps; ++i) {
-    auto t0 = Clock::now();
-    fn();
-    double ms = ms_since(t0);
-    if (ms < best) best = ms;
-  }
-  return best;
-}
-
-struct Row {
-  std::string name;
-  double baseline_ms;
-  double optimized_ms;
-  std::string unit;  // what one measurement covers
-};
-
-std::vector<Row> g_rows;
+bench::BenchReport g_report("bench_media");
 
 void add_row(const std::string& name, double baseline_ms,
              double optimized_ms, const std::string& unit) {
-  g_rows.push_back({name, baseline_ms, optimized_ms, unit});
-  std::printf("%-28s baseline %9.3f ms  optimized %9.3f ms  speedup %5.2fx\n",
-              name.c_str(), baseline_ms, optimized_ms,
-              baseline_ms / optimized_ms);
-}
-
-void write_json(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  SUP_CHECK_MSG(f != nullptr, "cannot open output json");
-  std::fprintf(f, "{\n  \"bench\": \"bench_media\",\n");
-  std::fprintf(f, "  \"clock\": \"host_wall_clock\",\n");
-  std::fprintf(f, "  \"results\": [\n");
-  for (size_t i = 0; i < g_rows.size(); ++i) {
-    const Row& r = g_rows[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"baseline_ms\": %.4f, "
-                 "\"optimized_ms\": %.4f, \"speedup\": %.3f, "
-                 "\"unit\": \"%s\"}%s\n",
-                 r.name.c_str(), r.baseline_ms, r.optimized_ms,
-                 r.baseline_ms / r.optimized_ms, r.unit.c_str(),
-                 i + 1 < g_rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  g_report.add(name, baseline_ms, optimized_ms, unit);
 }
 
 // --- decode phases on a 1080p synthetic MJPEG stream ------------------------
@@ -287,16 +237,14 @@ int main(int argc, char** argv) {
   std::string out = argc > 1 ? argv[1] : "BENCH_kernels.json";
   bench_decode();
   bench_kernels();
-  write_json(out);
+  g_report.write_json(out);
   // The headline acceptance bar: the new decode path must be at least
   // 3x the old bit-at-a-time decoder on the 1080p stream.
-  for (const auto& r : g_rows)
-    if (r.name == "jpeg_decode_1080p" &&
-        r.baseline_ms / r.optimized_ms < 3.0) {
-      std::printf("FAIL: jpeg_decode_1080p speedup %.2fx < 3x\n",
-                  r.baseline_ms / r.optimized_ms);
-      return 1;
-    }
+  double headline = g_report.speedup_of("jpeg_decode_1080p");
+  if (headline < 3.0) {
+    std::printf("FAIL: jpeg_decode_1080p speedup %.2fx < 3x\n", headline);
+    return 1;
+  }
   std::printf("OK\n");
   return 0;
 }

@@ -7,8 +7,16 @@
 // target (see DESIGN.md).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "apps/apps.hpp"
 #include "components/clip_cache.hpp"
@@ -90,6 +98,164 @@ inline hinch::SimResult run_sim(hinch::Program& prog, int64_t iterations,
 inline double mcycles(uint64_t cycles) {
   return static_cast<double>(cycles) / 1e6;
 }
+
+// --- parallel sweep driver --------------------------------------------------
+//
+// The figure benches sweep independent deterministic sims (core counts,
+// parameter grids). parallel_sweep runs `fn(0) .. fn(n-1)` on a pool of
+// worker threads and returns the results in index order. Each sweep
+// point must be self-contained: build its own Program and let the sim
+// executor own its per-run MemorySystem/Engine — a Program's components
+// are stateful during execution, so points must never share one. Every
+// point is bit-deterministic on its own, and collection is by index, so
+// the assembled output is byte-identical to the sequential loop no
+// matter how the points interleave.
+
+// Worker count: XSPCL_SWEEP_THREADS if set (>=1), else the hardware
+// concurrency. 1 runs the points inline on the calling thread.
+inline int sweep_threads() {
+  if (const char* env = std::getenv("XSPCL_SWEEP_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc ? static_cast<int>(hc) : 1;
+}
+
+template <typename Fn>
+auto parallel_sweep(int n, Fn&& fn) -> std::vector<decltype(fn(int{}))> {
+  using R = decltype(fn(int{}));
+  std::vector<std::optional<R>> slots(static_cast<size_t>(n));
+  const int workers = std::min(n, sweep_threads());
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) slots[static_cast<size_t>(i)].emplace(fn(i));
+  } else {
+    std::atomic<int> next{0};
+    auto work = [&] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+        slots[static_cast<size_t>(i)].emplace(fn(i));
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers - 1));
+    for (int w = 0; w < workers - 1; ++w) pool.emplace_back(work);
+    work();  // the calling thread is a worker too
+    for (std::thread& t : pool) t.join();
+  }
+  std::vector<R> out;
+  out.reserve(static_cast<size_t>(n));
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+// --- wall-clock timing + BENCH_*.json emission ------------------------------
+//
+// Host-time microbench plumbing shared by bench_media and bench_sim
+// (see docs/PERF.md for the host-clock vs simulated-cycle split).
+
+using WallClock = std::chrono::steady_clock;
+
+inline double ms_since(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0)
+      .count();
+}
+
+// Best-of-N wall-clock of `fn` (after one untimed warmup run).
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = WallClock::now();
+    fn();
+    double ms = ms_since(t0);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+// Best-of-N for a baseline/optimized pair, with the reps interleaved
+// (a, b, a, b, ...) so both legs sample the same machine conditions —
+// host-wide slowdowns then inflate both minima instead of skewing the
+// ratio. Returns {best_a_ms, best_b_ms}.
+template <typename FnA, typename FnB>
+std::pair<double, double> best_ms_pair(int reps, FnA&& a, FnB&& b) {
+  a();
+  b();
+  double best_a = 1e300, best_b = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = WallClock::now();
+    a();
+    best_a = std::min(best_a, ms_since(t0));
+    t0 = WallClock::now();
+    b();
+    best_b = std::min(best_b, ms_since(t0));
+  }
+  return {best_a, best_b};
+}
+
+struct BenchRow {
+  std::string name;
+  double baseline_ms;
+  double optimized_ms;
+  std::string unit;  // what one measurement covers
+
+  double speedup() const { return baseline_ms / optimized_ms; }
+};
+
+// Collects baseline/optimized row pairs, echoes them to stdout, and
+// writes the machine-readable BENCH_<name>.json the CI bench-smoke step
+// uploads as an artifact.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& name, double baseline_ms, double optimized_ms,
+           const std::string& unit) {
+    rows_.push_back({name, baseline_ms, optimized_ms, unit});
+    std::printf(
+        "%-28s baseline %9.3f ms  optimized %9.3f ms  speedup %5.2fx\n",
+        name.c_str(), baseline_ms, optimized_ms, baseline_ms / optimized_ms);
+  }
+
+  const std::vector<BenchRow>& rows() const { return rows_; }
+
+  // Returns the speedup of the named row, or 0 if absent.
+  double speedup_of(const std::string& name) const {
+    for (const BenchRow& r : rows_)
+      if (r.name == name) return r.speedup();
+    return 0.0;
+  }
+
+  void write_json(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open output json '%s'\n",
+                   path.c_str());
+      std::abort();
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    std::fprintf(f, "  \"clock\": \"host_wall_clock\",\n");
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const BenchRow& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"baseline_ms\": %.4f, "
+                   "\"optimized_ms\": %.4f, \"speedup\": %.3f, "
+                   "\"unit\": \"%s\"}%s\n",
+                   r.name.c_str(), r.baseline_ms, r.optimized_ms,
+                   r.speedup(), r.unit.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<BenchRow> rows_;
+};
 
 // End-of-main teardown: drop the process-wide clip caches so harnesses
 // that chain several paper-scale configurations (and leak checkers) see

@@ -6,11 +6,21 @@
 // applications. Reported shape: overhead below ~15%, growing with core
 // count (quiescing drains the pipeline, so there is less parallelism to
 // exploit on average), with small non-monotone jitter.
+//
+// The (series x variant x cores) grid runs on the parallel sweep
+// driver; each point builds its own Program, results assemble by index.
 #include "bench_util.hpp"
 
 namespace {
 
 constexpr int kMaxCores = 9;
+constexpr int kVariants = 3;  // static A, static B, reconfigurable
+
+struct SeriesDef {
+  std::string name;
+  std::string specs[kVariants];
+  int64_t frames;
+};
 
 struct Series {
   std::string name;
@@ -23,61 +33,44 @@ int main() {
   std::printf("Figure 10: reconfiguration overhead vs cores\n");
   std::printf("(reconfigurable runtime / mean of the two static variants)\n");
 
-  std::vector<Series> series;
+  std::vector<SeriesDef> defs;
+  defs.push_back({"PiP-12",
+                  {apps::pip_xspcl(bench::paper_pip(1)),
+                   apps::pip_xspcl(bench::paper_pip(2)),
+                   apps::pip_xspcl(bench::paper_pip(2, true))},
+                  bench::paper_pip(1).frames});
+  defs.push_back({"JPiP-12",
+                  {apps::jpip_xspcl(bench::paper_jpip(1)),
+                   apps::jpip_xspcl(bench::paper_jpip(2)),
+                   apps::jpip_xspcl(bench::paper_jpip(2, true))},
+                  bench::paper_jpip(1).frames});
+  defs.push_back({"Blur-35",
+                  {apps::blur_xspcl(bench::paper_blur(3)),
+                   apps::blur_xspcl(bench::paper_blur(5)),
+                   apps::blur_xspcl(bench::paper_blur(3, true))},
+                  bench::paper_blur(3).frames});
 
-  {
-    Series s{"PiP-12", {}};
-    auto st1 = bench::build_program(apps::pip_xspcl(bench::paper_pip(1)));
-    auto st2 = bench::build_program(apps::pip_xspcl(bench::paper_pip(2)));
-    auto rec =
-        bench::build_program(apps::pip_xspcl(bench::paper_pip(2, true)));
-    int64_t frames = bench::paper_pip(1).frames;
+  const int per_series = kVariants * kMaxCores;
+  std::vector<uint64_t> cycles = bench::parallel_sweep(
+      static_cast<int>(defs.size()) * per_series, [&](int idx) -> uint64_t {
+        const SeriesDef& d = defs[static_cast<size_t>(idx / per_series)];
+        int variant = (idx % per_series) / kMaxCores;
+        int cores = (idx % kMaxCores) + 1;
+        auto prog = bench::build_program(d.specs[variant]);
+        return bench::run_sim(*prog, d.frames, cores).total_cycles;
+      });
+
+  std::vector<Series> series;
+  for (size_t s = 0; s < defs.size(); ++s) {
+    const uint64_t* row = &cycles[s * static_cast<size_t>(per_series)];
+    Series out{defs[s].name, {}};
     for (int cores = 1; cores <= kMaxCores; ++cores) {
-      double a = static_cast<double>(
-          bench::run_sim(*st1, frames, cores).total_cycles);
-      double b = static_cast<double>(
-          bench::run_sim(*st2, frames, cores).total_cycles);
-      double r = static_cast<double>(
-          bench::run_sim(*rec, frames, cores).total_cycles);
-      s.overhead_pct.push_back(100.0 * (r / ((a + b) / 2) - 1.0));
+      double a = static_cast<double>(row[0 * kMaxCores + cores - 1]);
+      double b = static_cast<double>(row[1 * kMaxCores + cores - 1]);
+      double r = static_cast<double>(row[2 * kMaxCores + cores - 1]);
+      out.overhead_pct.push_back(100.0 * (r / ((a + b) / 2) - 1.0));
     }
-    series.push_back(std::move(s));
-  }
-  {
-    Series s{"JPiP-12", {}};
-    auto st1 = bench::build_program(apps::jpip_xspcl(bench::paper_jpip(1)));
-    auto st2 = bench::build_program(apps::jpip_xspcl(bench::paper_jpip(2)));
-    auto rec =
-        bench::build_program(apps::jpip_xspcl(bench::paper_jpip(2, true)));
-    int64_t frames = bench::paper_jpip(1).frames;
-    for (int cores = 1; cores <= kMaxCores; ++cores) {
-      double a = static_cast<double>(
-          bench::run_sim(*st1, frames, cores).total_cycles);
-      double b = static_cast<double>(
-          bench::run_sim(*st2, frames, cores).total_cycles);
-      double r = static_cast<double>(
-          bench::run_sim(*rec, frames, cores).total_cycles);
-      s.overhead_pct.push_back(100.0 * (r / ((a + b) / 2) - 1.0));
-    }
-    series.push_back(std::move(s));
-  }
-  {
-    Series s{"Blur-35", {}};
-    auto st3 = bench::build_program(apps::blur_xspcl(bench::paper_blur(3)));
-    auto st5 = bench::build_program(apps::blur_xspcl(bench::paper_blur(5)));
-    auto rec =
-        bench::build_program(apps::blur_xspcl(bench::paper_blur(3, true)));
-    int64_t frames = bench::paper_blur(3).frames;
-    for (int cores = 1; cores <= kMaxCores; ++cores) {
-      double a = static_cast<double>(
-          bench::run_sim(*st3, frames, cores).total_cycles);
-      double b = static_cast<double>(
-          bench::run_sim(*st5, frames, cores).total_cycles);
-      double r = static_cast<double>(
-          bench::run_sim(*rec, frames, cores).total_cycles);
-      s.overhead_pct.push_back(100.0 * (r / ((a + b) / 2) - 1.0));
-    }
-    series.push_back(std::move(s));
+    series.push_back(std::move(out));
   }
 
   std::printf("%-8s", "cores");

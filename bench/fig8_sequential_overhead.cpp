@@ -8,9 +8,26 @@
 //
 // Also reproduces the §4.1 profiling claim: the XSPCL JPiP shows
 // significantly more cache misses than the sequential version.
+//
+// The six (sequential, xspcl) pairs are independent deterministic sims
+// and run on the parallel sweep driver; rows print in definition order.
+#include <functional>
+
 #include "bench_util.hpp"
 
 namespace {
+
+struct RowDef {
+  std::string name;
+  std::function<apps::SeqResult()> seq;
+  std::string spec;
+  int64_t frames;
+};
+
+struct Meas {
+  uint64_t cycles;
+  uint64_t misses;  // fetches that had to go to memory (L2 misses)
+};
 
 struct Row {
   std::string name;
@@ -20,16 +37,6 @@ struct Row {
   uint64_t xspcl_misses;
 };
 
-Row run_pair(const std::string& name, apps::SeqResult seq,
-             const std::string& spec, int64_t frames) {
-  auto prog = bench::build_program(spec);
-  hinch::SimResult r = bench::run_sim(*prog, frames, /*cores=*/1);
-  // The §4.1 profiling claim is about misses that actually hurt: track
-  // fetches that had to go to memory (L2 misses).
-  return Row{name, seq.cycles, r.total_cycles, seq.mem.mem_fetches,
-             r.mem.mem_fetches};
-}
-
 }  // namespace
 
 int main() {
@@ -37,25 +44,45 @@ int main() {
   std::printf("%-10s %14s %14s %10s %16s\n", "app", "sequential", "xspcl",
               "overhead", "L2-miss ratio");
 
-  std::vector<Row> rows;
+  std::vector<RowDef> defs;
   for (int pips : {1, 2}) {
     apps::PipConfig c = bench::paper_pip(pips);
-    rows.push_back(run_pair("PiP-" + std::to_string(pips),
-                            apps::run_pip_sequential(c), apps::pip_xspcl(c),
-                            c.frames));
+    defs.push_back({"PiP-" + std::to_string(pips),
+                    [c] { return apps::run_pip_sequential(c); },
+                    apps::pip_xspcl(c), c.frames});
   }
   for (int pips : {1, 2}) {
     apps::JpipConfig c = bench::paper_jpip(pips);
-    rows.push_back(run_pair("JPiP-" + std::to_string(pips),
-                            apps::run_jpip_sequential(c),
-                            apps::jpip_xspcl(c), c.frames));
+    defs.push_back({"JPiP-" + std::to_string(pips),
+                    [c] { return apps::run_jpip_sequential(c); },
+                    apps::jpip_xspcl(c), c.frames});
   }
   for (int kernel : {3, 5}) {
     apps::BlurConfig c = bench::paper_blur(kernel);
-    rows.push_back(run_pair(
-        "Blur-" + std::to_string(kernel) + "x" + std::to_string(kernel),
-        apps::run_blur_sequential(c), apps::blur_xspcl(c), c.frames));
+    defs.push_back(
+        {"Blur-" + std::to_string(kernel) + "x" + std::to_string(kernel),
+         [c] { return apps::run_blur_sequential(c); }, apps::blur_xspcl(c),
+         c.frames});
   }
+
+  // Per row: even point = hand-written sequential, odd point = the
+  // XSPCL version on one simulated core.
+  std::vector<Meas> meas = bench::parallel_sweep(
+      static_cast<int>(defs.size()) * 2, [&](int idx) -> Meas {
+        const RowDef& d = defs[static_cast<size_t>(idx / 2)];
+        if (idx % 2 == 0) {
+          apps::SeqResult s = d.seq();
+          return Meas{s.cycles, s.mem.mem_fetches};
+        }
+        auto prog = bench::build_program(d.spec);
+        hinch::SimResult r = bench::run_sim(*prog, d.frames, /*cores=*/1);
+        return Meas{r.total_cycles, r.mem.mem_fetches};
+      });
+
+  std::vector<Row> rows;
+  for (size_t i = 0; i < defs.size(); ++i)
+    rows.push_back(Row{defs[i].name, meas[2 * i].cycles, meas[2 * i + 1].cycles,
+                       meas[2 * i].misses, meas[2 * i + 1].misses});
 
   for (const Row& row : rows) {
     double overhead = 100.0 * (static_cast<double>(row.xspcl_cycles) /

@@ -5,62 +5,87 @@
 // disable all synchronization operations. Reported shape: good
 // efficiency for all; Blur best (largest compute-to-communication
 // ratio), JPiP worst (carries its ~18% sequential overhead).
+//
+// The (series x cores) grid is a set of independent deterministic sims,
+// so the points run on the parallel sweep driver; results are collected
+// by index and the printed table is byte-identical to a sequential run.
+#include <functional>
+
 #include "bench_util.hpp"
 
 namespace {
 
 constexpr int kMaxCores = 9;
 
-struct Series {
+struct SeriesDef {
   std::string name;
-  uint64_t base;  // fastest sequential version, cycles
-  std::vector<double> speedup;
+  std::string spec;
+  int64_t frames;
+  std::function<uint64_t()> seq_cycles;  // hand-written sequential run
 };
 
-Series run_series(const std::string& name, uint64_t seq_cycles,
-                  const std::string& spec, int64_t frames) {
-  auto prog = bench::build_program(spec);
-  Series s;
-  s.name = name;
-  // "All speedup measurements are relative to the fastest sequential
-  // version of the application. For Blur, this is the parallel version."
-  uint64_t xspcl1 =
-      bench::run_sim(*prog, frames, 1, /*sync_costs=*/false).total_cycles;
-  s.base = std::min(seq_cycles, xspcl1);
-  for (int cores = 1; cores <= kMaxCores; ++cores) {
-    uint64_t t =
-        cores == 1
-            ? xspcl1
-            : bench::run_sim(*prog, frames, cores).total_cycles;
-    s.speedup.push_back(static_cast<double>(s.base) /
-                        static_cast<double>(t));
-  }
-  return s;
-}
+struct Series {
+  std::string name;
+  std::vector<double> speedup;
+};
 
 }  // namespace
 
 int main() {
   std::printf("Figure 9: speedup vs cores (relative to fastest sequential)\n");
 
-  std::vector<Series> series;
+  std::vector<SeriesDef> defs;
   for (int pips : {1, 2}) {
     apps::PipConfig c = bench::paper_pip(pips);
-    series.push_back(run_series("PiP-" + std::to_string(pips),
-                                apps::run_pip_sequential(c).cycles,
-                                apps::pip_xspcl(c), c.frames));
+    defs.push_back({"PiP-" + std::to_string(pips), apps::pip_xspcl(c),
+                    c.frames,
+                    [c] { return apps::run_pip_sequential(c).cycles; }});
   }
   for (int pips : {1, 2}) {
     apps::JpipConfig c = bench::paper_jpip(pips);
-    series.push_back(run_series("JPiP-" + std::to_string(pips),
-                                apps::run_jpip_sequential(c).cycles,
-                                apps::jpip_xspcl(c), c.frames));
+    defs.push_back({"JPiP-" + std::to_string(pips), apps::jpip_xspcl(c),
+                    c.frames,
+                    [c] { return apps::run_jpip_sequential(c).cycles; }});
   }
   for (int kernel : {3, 5}) {
     apps::BlurConfig c = bench::paper_blur(kernel);
-    series.push_back(run_series("Blur-" + std::to_string(kernel),
-                                apps::run_blur_sequential(c).cycles,
-                                apps::blur_xspcl(c), c.frames));
+    defs.push_back({"Blur-" + std::to_string(kernel), apps::blur_xspcl(c),
+                    c.frames,
+                    [c] { return apps::run_blur_sequential(c).cycles; }});
+  }
+
+  // Per series: point 0 = hand-written sequential, point 1 = 1-core
+  // XSPCL with synchronization disabled ("parallel runs at 1 node
+  // disable all synchronization operations"), points 2..9 = that core
+  // count. Every point builds its own Program.
+  const int per_series = kMaxCores + 1;
+  std::vector<uint64_t> cycles = bench::parallel_sweep(
+      static_cast<int>(defs.size()) * per_series, [&](int idx) -> uint64_t {
+        const SeriesDef& d = defs[static_cast<size_t>(idx / per_series)];
+        int point = idx % per_series;
+        if (point == 0) return d.seq_cycles();
+        auto prog = bench::build_program(d.spec);
+        if (point == 1)
+          return bench::run_sim(*prog, d.frames, 1, /*sync_costs=*/false)
+              .total_cycles;
+        return bench::run_sim(*prog, d.frames, point).total_cycles;
+      });
+
+  std::vector<Series> series;
+  for (size_t s = 0; s < defs.size(); ++s) {
+    const uint64_t* row = &cycles[s * static_cast<size_t>(per_series)];
+    uint64_t seq = row[0];
+    uint64_t xspcl1 = row[1];
+    // "All speedup measurements are relative to the fastest sequential
+    // version of the application. For Blur, this is the parallel version."
+    uint64_t base = std::min(seq, xspcl1);
+    Series out{defs[s].name, {}};
+    for (int cores = 1; cores <= kMaxCores; ++cores) {
+      uint64_t t = cores == 1 ? xspcl1 : row[cores];
+      out.speedup.push_back(static_cast<double>(base) /
+                            static_cast<double>(t));
+    }
+    series.push_back(std::move(out));
   }
 
   std::printf("%-8s", "cores");

@@ -102,9 +102,10 @@ std::string blur_xspcl(const BlurConfig& config) {
 }
 
 SeqResult run_blur_sequential(const BlurConfig& config,
-                              const sim::CacheConfig& cache) {
+                              const sim::CacheConfig& cache,
+                              SeqTrace* trace) {
   SUP_CHECK(!config.reconfigurable);
-  SeqMachine m(cache);
+  SeqMachine m(cache, trace);
 
   components::ClipKey key{config.seed, config.width, config.height,
                           media::PixelFormat::kYuv420, config.clip_frames, 0};

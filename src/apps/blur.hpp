@@ -28,6 +28,7 @@ struct BlurConfig {
 std::string blur_xspcl(const BlurConfig& config);
 
 SeqResult run_blur_sequential(const BlurConfig& config,
-                              const sim::CacheConfig& cache = {});
+                              const sim::CacheConfig& cache = {},
+                              SeqTrace* trace = nullptr);
 
 }  // namespace apps

@@ -287,9 +287,10 @@ std::string jpip_xspcl(const JpipConfig& config) {
 }
 
 SeqResult run_jpip_sequential(const JpipConfig& config,
-                              const sim::CacheConfig& cache) {
+                              const sim::CacheConfig& cache,
+                              SeqTrace* trace) {
   SUP_CHECK(!config.reconfigurable);
-  SeqMachine m(cache);
+  SeqMachine m(cache, trace);
 
   components::ClipKey bg_key{config.bg_seed, config.width, config.height,
                              media::PixelFormat::kYuv420, config.clip_frames,

@@ -39,6 +39,7 @@ void jpip_position(const JpipConfig& config, int index, int* x, int* y);
 std::string jpip_xspcl(const JpipConfig& config);
 
 SeqResult run_jpip_sequential(const JpipConfig& config,
-                              const sim::CacheConfig& cache = {});
+                              const sim::CacheConfig& cache = {},
+                              SeqTrace* trace = nullptr);
 
 }  // namespace apps

@@ -219,9 +219,10 @@ std::string pip_xspcl(const PipConfig& config) {
 }
 
 SeqResult run_pip_sequential(const PipConfig& config,
-                             const sim::CacheConfig& cache) {
+                             const sim::CacheConfig& cache,
+                             SeqTrace* trace) {
   SUP_CHECK(!config.reconfigurable);
-  SeqMachine m(cache);
+  SeqMachine m(cache, trace);
 
   components::ClipKey bg_key{config.bg_seed, config.width, config.height,
                              media::PixelFormat::kYuv420, config.clip_frames,

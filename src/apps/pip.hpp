@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "apps/seq_machine.hpp"
 #include "media/metrics.hpp"
 #include "sim/cache.hpp"
 
@@ -49,6 +50,7 @@ std::string pip_xspcl(const PipConfig& config);
 
 // Hand-written fused sequential version.
 SeqResult run_pip_sequential(const PipConfig& config,
-                             const sim::CacheConfig& cache = {});
+                             const sim::CacheConfig& cache = {},
+                             SeqTrace* trace = nullptr);
 
 }  // namespace apps

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "sim/cache.hpp"
@@ -28,14 +29,19 @@ class RegionTable {
 
   sim::RegionId stream_region(int stream_index, int64_t iter,
                               uint64_t min_bytes) {
+    // The label factory only runs on a table miss (first touch or a
+    // size upgrade), so the per-access hot path stays allocation-free.
     return lookup(stream_regions_, stream_key(stream_index, iter), min_bytes,
-                  "stream");
+                  [&] {
+                    return "stream:" + std::to_string(stream_index) +
+                           ":slot" + std::to_string(iter % depth_);
+                  });
   }
 
   sim::RegionId scratch_region(int task, uint64_t min_bytes) {
     SUP_CHECK(task >= 0);
     return lookup(scratch_regions_, static_cast<uint64_t>(task), min_bytes,
-                  "scratch");
+                  [&] { return "scratch:task" + std::to_string(task); });
   }
 
   // Exposed for tests: the packed key must be injective over
@@ -54,15 +60,16 @@ class RegionTable {
     uint64_t bytes;
   };
 
+  template <typename LabelFn>
   sim::RegionId lookup(std::unordered_map<uint64_t, Entry>& table,
-                       uint64_t key, uint64_t min_bytes, const char* what) {
+                       uint64_t key, uint64_t min_bytes, LabelFn&& label) {
     auto it = table.find(key);
     if (it != table.end()) {
       if (it->second.bytes >= min_bytes) return it->second.id;
       mem_->release_region(it->second.id);
       table.erase(it);
     }
-    sim::RegionId id = mem_->register_region(min_bytes, what);
+    sim::RegionId id = mem_->register_region(min_bytes, label());
     table.emplace(key, Entry{id, min_bytes});
     return id;
   }

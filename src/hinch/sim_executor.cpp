@@ -7,6 +7,15 @@
 namespace hinch {
 namespace {
 
+// Trace key for a (task, iteration) job. Manager-less programs only use
+// phase 0, so the phase needs no bits.
+uint64_t trace_key(const JobRef& job) {
+  SUP_DCHECK(job.phase == 0);
+  SUP_DCHECK(job.iter >= 0 && job.iter < (int64_t{1} << 40));
+  return (static_cast<uint64_t>(static_cast<uint32_t>(job.task)) << 40) |
+         static_cast<uint64_t>(job.iter);
+}
+
 class SimRun {
  public:
   SimRun(Program& prog, const RunConfig& config, const SimParams& params)
@@ -16,6 +25,14 @@ class SimRun {
         cache_config_(params.cache),
         regions_(nullptr, prog.stream_depth()) {
     SUP_CHECK(params.cores >= 1);
+    SUP_CHECK_MSG(params.record_trace == nullptr ||
+                      params.replay_trace == nullptr,
+                  "at most one of record_trace/replay_trace may be set");
+    SUP_CHECK_MSG((params.record_trace == nullptr &&
+                   params.replay_trace == nullptr) ||
+                      prog.managers().empty(),
+                  "charge tracing requires a program without "
+                  "reconfiguration managers");
     cache_config_.cores = params.cores;
     mem_ = std::make_unique<sim::MemorySystem>(cache_config_);
     regions_ = RegionTable(mem_.get(), prog.stream_depth());
@@ -77,10 +94,21 @@ class SimRun {
   void start_job(JobRef job, int core) {
     ExecContext ctx(scheduler_.job_component(job), job.iter, core,
                     &prog_.queues());
-    scheduler_.execute(job, ctx);
+    const ExecContext::Charges* charged = &ctx.charges();
+    if (params_.replay_trace != nullptr) {
+      auto it = params_.replay_trace->jobs.find(trace_key(job));
+      SUP_CHECK_MSG(it != params_.replay_trace->jobs.end(),
+                    "charge-trace replay: no record for this job (trace "
+                    "from a different program or RunConfig?)");
+      charged = &it->second;
+    } else {
+      scheduler_.execute(job, ctx);
+      if (params_.record_trace != nullptr)
+        params_.record_trace->jobs.emplace(trace_key(job), ctx.charges());
+    }
     ++jobs_;
 
-    const ExecContext::Charges& charges = ctx.charges();
+    const ExecContext::Charges& charges = *charged;
     sim::Cycles cost = charges.compute_cycles;
     for (const ExecContext::Touch& t : charges.touches) {
       sim::RegionId region = regions_.stream_region(

@@ -8,11 +8,29 @@
 // counts, which the paper-figure benches and the tests rely on.
 #pragma once
 
+#include <unordered_map>
+
 #include "hinch/scheduler.hpp"
 #include "sim/cache.hpp"
 #include "sim/engine.hpp"
 
 namespace hinch {
+
+// Per-job simulated-cost charges of one run, keyed by (task, iteration).
+// A recording run fills it while executing normally; a replaying run
+// skips component execution and feeds the recorded charges straight into
+// the cost model, producing identical cycle/memory/queue results while
+// spending host time only on the simulator itself (scheduler, cache
+// model, event engine) — the fast path for parameter sweeps and for
+// bench_sim's end-to-end measurement. Replay requires the same program
+// structure and RunConfig as the recording, and is restricted to
+// programs without reconfiguration managers (manager polls have
+// scheduling side effects that cannot be skipped). In a replayed result
+// SchedulerStats reflects the jobs the scheduler actually executed
+// (i.e. stays zero); all cycle-derived fields match the recording.
+struct ChargeTrace {
+  std::unordered_map<uint64_t, ExecContext::Charges> jobs;
+};
 
 struct SimParams {
   int cores = 1;
@@ -23,6 +41,10 @@ struct SimParams {
   sim::Cycles dequeue_cycles = 80;
   sim::Cycles enqueue_cycles = 80;
   bool sync_costs = true;
+  // Charge-trace capture/replay (see ChargeTrace). At most one may be
+  // set; both must outlive the run.
+  ChargeTrace* record_trace = nullptr;
+  const ChargeTrace* replay_trace = nullptr;
 };
 
 struct SimResult {

@@ -1,8 +1,12 @@
 #include "sim/cache.hpp"
 
+#include <bit>
+
 #include "support/check.hpp"
 
 namespace sim {
+
+// ---- list-reference engine --------------------------------------------------
 
 void MemorySystem::Lru::touch(ChunkKey k) {
   auto it = index.find(k);
@@ -25,61 +29,29 @@ void MemorySystem::Lru::erase(ChunkKey k) {
   index.erase(it);
 }
 
-MemorySystem::MemorySystem(const CacheConfig& config) : config_(config) {
-  SUP_CHECK(config.cores >= 1);
-  SUP_CHECK(config.chunk_bytes > 0);
-  l1_.resize(static_cast<size_t>(config.cores));
-  for (Lru& l : l1_)
-    l.capacity_chunks = config.l1_bytes / config.chunk_bytes;
-  l2_.capacity_chunks = config.l2_bytes / config.chunk_bytes;
-  SUP_CHECK(l1_[0].capacity_chunks >= 1 && l2_.capacity_chunks >= 1);
-}
-
-RegionId MemorySystem::register_region(uint64_t bytes, std::string label) {
-  (void)label;
-  RegionId id = next_region_++;
-  region_bytes_[id] = bytes;
-  return id;
-}
-
-void MemorySystem::release_region(RegionId id) {
-  auto it = region_bytes_.find(id);
-  if (it == region_bytes_.end()) return;
-  uint64_t chunks =
-      (it->second + config_.chunk_bytes - 1) / config_.chunk_bytes;
-  for (uint64_t c = 0; c < chunks; ++c) {
-    ChunkKey k = key(id, c);
-    for (Lru& l : l1_) l.erase(k);
-    l2_.erase(k);
-  }
-  region_bytes_.erase(it);
-}
-
-Cycles MemorySystem::access(int core, RegionId region, uint64_t offset,
-                            uint64_t len, bool write) {
-  SUP_DCHECK(core >= 0 && core < static_cast<int>(l1_.size()));
-  if (len == 0) return 0;
-  auto it = region_bytes_.find(region);
-  SUP_CHECK_MSG(it != region_bytes_.end(), "access to unregistered region");
-  SUP_DCHECK(offset + len <= it->second);
-
-  const uint64_t first = offset / config_.chunk_bytes;
-  const uint64_t last = (offset + len - 1) / config_.chunk_bytes;
+Cycles MemorySystem::access_list(int core, Region& region_info,
+                                 RegionId region, uint64_t first,
+                                 uint64_t last, bool write) {
+  RegionStats& rs = region_info.stats;
   Lru& mine = l1_[static_cast<size_t>(core)];
   Cycles stall = 0;
   for (uint64_t c = first; c <= last; ++c) {
     ChunkKey k = key(region, c);
     ++stats_.accesses;
+    ++rs.accesses;
     if (mine.contains(k)) {
       ++stats_.l1_hits;
+      ++rs.l1_hits;
       mine.touch(k);
     } else if (l2_.contains(k)) {
       ++stats_.l2_hits;
+      ++rs.l2_hits;
       stall += config_.l2_cycles_per_chunk;
       l2_.touch(k);
       mine.touch(k);
     } else {
       ++stats_.mem_fetches;
+      ++rs.mem_fetches;
       stall += config_.mem_cycles_per_chunk;
       l2_.touch(k);
       mine.touch(k);
@@ -90,12 +62,293 @@ Cycles MemorySystem::access(int core, RegionId region, uint64_t offset,
         if (l1_[i].contains(k)) {
           l1_[i].erase(k);
           ++stats_.invalidations;
+          ++rs.invalidations;
         }
       }
     }
   }
-  stats_.stall_cycles += stall;
   return stall;
+}
+
+void MemorySystem::release_region_list(RegionId id, Region& region_info) {
+  uint64_t chunks =
+      (region_info.bytes + config_.chunk_bytes - 1) / config_.chunk_bytes;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    ChunkKey k = key(id, c);
+    for (Lru& l : l1_) l.erase(k);
+    l2_.erase(k);
+  }
+}
+
+// ---- flat engine ------------------------------------------------------------
+
+void MemorySystem::list_push_front(size_t cache, int32_t n) {
+  LruList& l = lists_[cache];
+  Links& ln = link(cache, n);
+  ln.prev = -1;
+  ln.next = l.head;
+  if (l.head >= 0) link(cache, l.head).prev = n;
+  l.head = n;
+  if (l.tail < 0) l.tail = n;
+  ++l.size;
+}
+
+void MemorySystem::list_unlink(size_t cache, int32_t n) {
+  LruList& l = lists_[cache];
+  Links& ln = link(cache, n);
+  if (ln.prev >= 0)
+    link(cache, ln.prev).next = ln.next;
+  else
+    l.head = ln.next;
+  if (ln.next >= 0)
+    link(cache, ln.next).prev = ln.prev;
+  else
+    l.tail = ln.prev;
+  --l.size;
+}
+
+void MemorySystem::list_move_front(size_t cache, int32_t n) {
+  if (lists_[cache].head == n) return;
+  list_unlink(cache, n);
+  list_push_front(cache, n);
+}
+
+size_t MemorySystem::hash_find(ChunkKey k) const {
+  size_t i = mix(k) & hash_mask_;
+  while (true) {
+    const HashSlot& s = hash_[i];
+    if (s.node < 0 || s.chunk_key == k) return i;
+    i = (i + 1) & hash_mask_;
+  }
+}
+
+void MemorySystem::hash_erase_slot(size_t slot) {
+  // Backward-shift deletion for linear probing: pull later entries of
+  // the same probe chain into the hole so lookups never need tombstones.
+  size_t hole = slot;
+  size_t j = slot;
+  while (true) {
+    j = (j + 1) & hash_mask_;
+    if (hash_[j].node < 0) break;
+    size_t home = mix(hash_[j].chunk_key) & hash_mask_;
+    if (((j - home) & hash_mask_) >= ((j - hole) & hash_mask_)) {
+      hash_[hole] = hash_[j];
+      hole = j;
+    }
+  }
+  hash_[hole].node = -1;
+}
+
+int32_t MemorySystem::alloc_node(ChunkKey k, size_t slot, RegionId region) {
+  SUP_CHECK_MSG(!free_nodes_.empty(), "chunk directory pool exhausted");
+  int32_t n = free_nodes_.back();
+  free_nodes_.pop_back();
+  DirNode& nd = nodes_[static_cast<size_t>(n)];
+  nd.chunk_key = k;
+  nd.mask = 0;
+  nd.region = region;
+  Region& r = regions_[region];
+  nd.region_prev = -1;
+  nd.region_next = r.chunk_head;
+  if (r.chunk_head >= 0)
+    nodes_[static_cast<size_t>(r.chunk_head)].region_prev = n;
+  r.chunk_head = n;
+  hash_[slot] = HashSlot{k, n};
+  return n;
+}
+
+void MemorySystem::free_node(int32_t n) {
+  DirNode& nd = nodes_[static_cast<size_t>(n)];
+  size_t slot = hash_find(nd.chunk_key);
+  SUP_DCHECK(hash_[slot].node == n);
+  hash_erase_slot(slot);
+  if (nd.region_prev >= 0)
+    nodes_[static_cast<size_t>(nd.region_prev)].region_next = nd.region_next;
+  else
+    regions_[nd.region].chunk_head = nd.region_next;
+  if (nd.region_next >= 0)
+    nodes_[static_cast<size_t>(nd.region_next)].region_prev = nd.region_prev;
+  free_nodes_.push_back(n);
+}
+
+void MemorySystem::evict_tail(size_t cache) {
+  int32_t t = lists_[cache].tail;
+  SUP_DCHECK(t >= 0);
+  list_unlink(cache, t);
+  DirNode& nd = nodes_[static_cast<size_t>(t)];
+  nd.mask &= ~(uint64_t{1} << cache);
+  if (nd.mask == 0) free_node(t);
+}
+
+Cycles MemorySystem::access_flat(int core, Region& region_info,
+                                 RegionId region, uint64_t first,
+                                 uint64_t last, bool write) {
+  RegionStats& rs = region_info.stats;
+  const size_t my = static_cast<size_t>(core);
+  const size_t l2 = num_caches_ - 1;
+  const uint64_t core_bit = uint64_t{1} << my;
+  const uint64_t l2_bit = uint64_t{1} << l2;
+  // All L1 presence bits except this core's (write-invalidation targets).
+  const uint64_t other_l1_bits = (l2_bit - 1) & ~core_bit;
+  Cycles stall = 0;
+  for (uint64_t c = first; c <= last; ++c) {
+    ChunkKey k = key(region, c);
+    ++stats_.accesses;
+    ++rs.accesses;
+    size_t slot = hash_find(k);
+    int32_t n = hash_[slot].node;
+    uint64_t mask = n >= 0 ? nodes_[static_cast<size_t>(n)].mask : 0;
+    if (mask & core_bit) {
+      ++stats_.l1_hits;
+      ++rs.l1_hits;
+      list_move_front(my, n);
+    } else {
+      if (mask & l2_bit) {
+        ++stats_.l2_hits;
+        ++rs.l2_hits;
+        stall += config_.l2_cycles_per_chunk;
+        list_move_front(l2, n);
+      } else {
+        ++stats_.mem_fetches;
+        ++rs.mem_fetches;
+        stall += config_.mem_cycles_per_chunk;
+        if (n < 0) n = alloc_node(k, slot, region);
+        nodes_[static_cast<size_t>(n)].mask |= l2_bit;
+        list_push_front(l2, n);
+        if (lists_[l2].size > lists_[l2].capacity) evict_tail(l2);
+      }
+      nodes_[static_cast<size_t>(n)].mask |= core_bit;
+      list_push_front(my, n);
+      if (lists_[my].size > lists_[my].capacity) evict_tail(my);
+    }
+    if (write) {
+      DirNode& nd = nodes_[static_cast<size_t>(n)];
+      uint64_t others = nd.mask & other_l1_bits;
+      if (others) {
+        uint64_t count = static_cast<uint64_t>(std::popcount(others));
+        stats_.invalidations += count;
+        rs.invalidations += count;
+        nd.mask &= ~others;
+        do {
+          size_t i = static_cast<size_t>(std::countr_zero(others));
+          others &= others - 1;
+          list_unlink(i, n);
+        } while (others);
+      }
+    }
+  }
+  return stall;
+}
+
+void MemorySystem::release_region_flat(RegionId /*id*/, Region& region_info) {
+  int32_t n = region_info.chunk_head;
+  while (n >= 0) {
+    int32_t next = nodes_[static_cast<size_t>(n)].region_next;
+    uint64_t mask = nodes_[static_cast<size_t>(n)].mask;
+    while (mask) {
+      size_t i = static_cast<size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      list_unlink(i, n);
+    }
+    nodes_[static_cast<size_t>(n)].mask = 0;
+    free_node(n);  // also pops it off the region chunk list
+    n = next;
+  }
+  SUP_DCHECK(region_info.chunk_head == -1);
+}
+
+// ---- shared surface ---------------------------------------------------------
+
+MemorySystem::MemorySystem(const CacheConfig& config) : config_(config) {
+  SUP_CHECK(config.cores >= 1);
+  SUP_CHECK(config.chunk_bytes > 0);
+  const uint64_t l1_cap = config.l1_bytes / config.chunk_bytes;
+  const uint64_t l2_cap = config.l2_bytes / config.chunk_bytes;
+  SUP_CHECK(l1_cap >= 1 && l2_cap >= 1);
+  regions_.resize(1);  // RegionId 0 stays unused
+  flat_ = config.lru_impl == LruImpl::kFlat;
+  if (flat_) {
+    SUP_CHECK_MSG(config.cores < 64,
+                  "flat cache engine models at most 63 cores "
+                  "(presence mask width)");
+    num_caches_ = static_cast<size_t>(config.cores) + 1;
+    // Every resident chunk occupies at least one cache, so peak directory
+    // occupancy is bounded by the summed capacities (+1 transient node
+    // while an insertion precedes its eviction).
+    node_capacity_ = static_cast<size_t>(
+        l2_cap + static_cast<uint64_t>(config.cores) * l1_cap + 2);
+    nodes_.resize(node_capacity_);
+    links_.assign(num_caches_ * node_capacity_, Links{});
+    lists_.assign(num_caches_, LruList{});
+    for (size_t i = 0; i + 1 < num_caches_; ++i) lists_[i].capacity = l1_cap;
+    lists_[num_caches_ - 1].capacity = l2_cap;
+    free_nodes_.reserve(node_capacity_);
+    for (size_t n = node_capacity_; n > 0; --n)
+      free_nodes_.push_back(static_cast<int32_t>(n - 1));
+    size_t hash_size = 1;
+    while (hash_size < 2 * node_capacity_) hash_size <<= 1;
+    hash_.assign(hash_size, HashSlot{});
+    hash_mask_ = hash_size - 1;
+  } else {
+    l1_.resize(static_cast<size_t>(config.cores));
+    for (Lru& l : l1_) l.capacity_chunks = l1_cap;
+    l2_.capacity_chunks = l2_cap;
+  }
+}
+
+RegionId MemorySystem::register_region(uint64_t bytes, std::string label) {
+  RegionId id = next_region_++;
+  SUP_DCHECK(regions_.size() == id);
+  Region region;
+  region.bytes = bytes;
+  region.active = true;
+  region.label = std::move(label);
+  regions_.push_back(std::move(region));
+  return id;
+}
+
+void MemorySystem::release_region(RegionId id) {
+  if (id >= regions_.size() || !regions_[id].active) return;
+  Region& region = regions_[id];
+  if (flat_)
+    release_region_flat(id, region);
+  else
+    release_region_list(id, region);
+  region.active = false;
+}
+
+Cycles MemorySystem::access(int core, RegionId region, uint64_t offset,
+                            uint64_t len, bool write) {
+  SUP_DCHECK(core >= 0 && core < config_.cores);
+  if (len == 0) return 0;
+  SUP_CHECK_MSG(region < regions_.size() && regions_[region].active,
+                "access to unregistered region");
+  Region& info = regions_[region];
+  // Overflow-safe bounds check: `offset + len` can wrap for hostile
+  // offsets, so compare against the region size without adding.
+  SUP_DCHECK(len <= info.bytes && offset <= info.bytes - len);
+
+  const uint64_t first = offset / config_.chunk_bytes;
+  const uint64_t last = (offset + len - 1) / config_.chunk_bytes;
+  Cycles stall = flat_ ? access_flat(core, info, region, first, last, write)
+                       : access_list(core, info, region, first, last, write);
+  stats_.stall_cycles += stall;
+  info.stats.stall_cycles += stall;
+  return stall;
+}
+
+std::vector<RegionStats> MemorySystem::region_stats() const {
+  std::vector<RegionStats> out;
+  out.reserve(regions_.size() - 1);
+  for (size_t i = 1; i < regions_.size(); ++i) {
+    RegionStats s = regions_[i].stats;
+    s.id = static_cast<RegionId>(i);
+    s.label = regions_[i].label;
+    s.bytes = regions_[i].bytes;
+    s.active = regions_[i].active;
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace sim

@@ -13,6 +13,25 @@
 //   in shared L2 only   -> l2_cycles_per_chunk
 //   in neither          -> mem_cycles_per_chunk
 // Writes invalidate other cores' L1 copies (MSI-style coherence).
+//
+// Two interchangeable cache-structure engines implement the identical
+// LRU/coherence semantics (every access classifies and evicts the same
+// way, so all simulated-cycle outputs are byte-identical):
+//
+//   LruImpl::kFlat (default) — a shared chunk *directory*: one pooled
+//   node per resident chunk (index-linked, no per-touch allocation)
+//   found through one open-addressing hash probe; per-cache intrusive
+//   LRU lists thread through per-cache prev/next arrays indexed by the
+//   node id; a per-chunk core-presence bitmask makes a write
+//   invalidation one mask read plus targeted erases (instead of probing
+//   every core's map); and a per-region resident-chunk list makes
+//   release_region O(chunks actually cached), not
+//   O(region chunks x caches).
+//
+//   LruImpl::kListReference — the original std::list +
+//   std::unordered_map structures, retained as the equivalence baseline
+//   for tests and the "before" leg of bench_sim (the same pattern as
+//   media's HuffmanImpl::kBitSerial).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +46,11 @@ namespace sim {
 
 using RegionId = uint32_t;
 
+enum class LruImpl {
+  kFlat,           // pooled nodes + open-addressing directory (fast path)
+  kListReference,  // std::list + unordered_map (equivalence baseline)
+};
+
 struct CacheConfig {
   int cores = 1;
   uint64_t l1_bytes = 16 * 1024;  // per core (TriMedia-like)
@@ -39,6 +63,7 @@ struct CacheConfig {
   uint32_t chunk_bytes = 1024;
   Cycles l2_cycles_per_chunk = 192;   // ~12 cycles per 64 B line
   Cycles mem_cycles_per_chunk = 640;  // ~40 cycles per 64 B line
+  LruImpl lru_impl = LruImpl::kFlat;
 };
 
 struct MemStats {
@@ -53,6 +78,23 @@ struct MemStats {
     return accesses ? static_cast<double>(l1_hits) / static_cast<double>(accesses)
                     : 0.0;
   }
+
+  bool operator==(const MemStats&) const = default;
+};
+
+// Per-region slice of the access statistics (the §4.1 JPiP miss
+// analysis: which buffer pays the misses). Retained after release.
+struct RegionStats {
+  RegionId id = 0;
+  std::string label;
+  uint64_t bytes = 0;
+  bool active = false;
+  uint64_t accesses = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t mem_fetches = 0;
+  uint64_t invalidations = 0;
+  Cycles stall_cycles = 0;
 };
 
 class MemorySystem {
@@ -60,7 +102,7 @@ class MemorySystem {
   explicit MemorySystem(const CacheConfig& config);
 
   // Register a buffer the simulated application will touch. `label` is
-  // for diagnostics only.
+  // kept for the per-region statistics dump.
   RegionId register_region(uint64_t bytes, std::string label);
   void release_region(RegionId id);
 
@@ -74,6 +116,10 @@ class MemorySystem {
   const MemStats& stats() const { return stats_; }
   void reset_stats() { stats_ = MemStats{}; }
 
+  // Per-region access/miss/stall breakdown in registration order,
+  // including released regions (their counters stop but are kept).
+  std::vector<RegionStats> region_stats() const;
+
  private:
   // Chunk identity: region id in the upper bits, chunk index below.
   using ChunkKey = uint64_t;
@@ -81,7 +127,17 @@ class MemorySystem {
     return (static_cast<uint64_t>(region) << 32) | chunk;
   }
 
-  // One LRU cache over chunks.
+  // Region bookkeeping + accumulated statistics, indexed by RegionId
+  // (ids are dense: 1, 2, ...). Shared by both engines.
+  struct Region {
+    uint64_t bytes = 0;
+    bool active = false;
+    int32_t chunk_head = -1;  // flat engine: list of resident chunks
+    std::string label;
+    RegionStats stats;  // id/label/bytes mirrored into the dump lazily
+  };
+
+  // ---- list-reference engine --------------------------------------------
   struct Lru {
     uint64_t capacity_chunks = 0;
     std::list<ChunkKey> order;  // front = most recent
@@ -92,12 +148,86 @@ class MemorySystem {
     void erase(ChunkKey k);
   };
 
+  Cycles access_list(int core, Region& region_info, RegionId region,
+                     uint64_t first, uint64_t last, bool write);
+  void release_region_list(RegionId id, Region& region_info);
+
+  // ---- flat engine -------------------------------------------------------
+  //
+  // Directory node: one per chunk resident in at least one cache. The
+  // presence mask has bit c set when core c's L1 holds the chunk and bit
+  // `cores` when the L2 does. LRU prev/next links live in per-cache
+  // stripes of links_ (stride = node-pool capacity), so membership and
+  // recency updates are index arithmetic on flat arrays.
+  struct DirNode {
+    ChunkKey chunk_key = 0;
+    uint64_t mask = 0;
+    RegionId region = 0;
+    int32_t region_prev = -1;
+    int32_t region_next = -1;
+  };
+  struct HashSlot {
+    ChunkKey chunk_key = 0;
+    int32_t node = -1;  // -1 = empty
+  };
+  struct Links {
+    int32_t prev = -1;
+    int32_t next = -1;
+  };
+  struct LruList {
+    int32_t head = -1;  // most recent
+    int32_t tail = -1;  // least recent
+    uint64_t size = 0;
+    uint64_t capacity = 0;
+  };
+
+  static uint64_t mix(ChunkKey k) {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return k;
+  }
+
+  Links& link(size_t cache, int32_t node) {
+    return links_[cache * node_capacity_ + static_cast<size_t>(node)];
+  }
+  void list_push_front(size_t cache, int32_t n);
+  void list_unlink(size_t cache, int32_t n);
+  void list_move_front(size_t cache, int32_t n);
+
+  // Returns the hash slot holding `k`, or the slot to insert it at.
+  size_t hash_find(ChunkKey k) const;
+  void hash_erase_slot(size_t slot);  // backward-shift deletion
+
+  int32_t alloc_node(ChunkKey k, size_t slot, RegionId region);
+  void free_node(int32_t n);  // unlinks from hash + region list
+  void evict_tail(size_t cache);
+
+  Cycles access_flat(int core, Region& region_info, RegionId region,
+                     uint64_t first, uint64_t last, bool write);
+  void release_region_flat(RegionId id, Region& region_info);
+
   CacheConfig config_;
-  std::vector<Lru> l1_;  // one per core
-  Lru l2_;
+  bool flat_ = true;
   MemStats stats_;
   RegionId next_region_ = 1;
-  std::unordered_map<RegionId, uint64_t> region_bytes_;
+  std::vector<Region> regions_;  // index 0 unused
+
+  // list-reference engine state
+  std::vector<Lru> l1_;  // one per core
+  Lru l2_;
+
+  // flat engine state
+  size_t num_caches_ = 0;     // cores + 1; cache index `cores` is the L2
+  size_t node_capacity_ = 0;  // fixed pool size (max residency + margin)
+  std::vector<DirNode> nodes_;
+  std::vector<Links> links_;  // num_caches_ stripes of node_capacity_
+  std::vector<LruList> lists_;
+  std::vector<int32_t> free_nodes_;
+  std::vector<HashSlot> hash_;  // power-of-two open addressing, linear probe
+  size_t hash_mask_ = 0;
 };
 
 }  // namespace sim

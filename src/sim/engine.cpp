@@ -4,20 +4,59 @@
 
 namespace sim {
 
-void Engine::schedule_at(Cycles t, std::function<void()> fn) {
+void Engine::sift_up(size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::sift_down(size_t i) {
+  const size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+void Engine::schedule_at(Cycles t, EventFn fn) {
   SUP_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(pool_.size());
+    pool_.push_back(std::move(fn));
+  }
+  heap_.push_back(HeapEntry{t, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
 }
 
 Cycles Engine::run() {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; the event must be moved out
-    // before pop, and fn may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+  while (!heap_.empty()) {
+    HeapEntry top = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    now_ = top.time;
     ++processed_;
-    ev.fn();
+    // Move the callable out before invoking: fn may schedule new events,
+    // which can grow pool_ and must be able to reuse this slot.
+    EventFn fn = std::move(pool_[top.slot]);
+    free_slots_.push_back(top.slot);
+    fn();
   }
   return now_;
 }

@@ -5,11 +5,22 @@
 // here, and the cache model (sim/cache.hpp) converts memory traffic into
 // cycles. Events at equal timestamps fire in scheduling order, so every
 // run is reproducible bit-for-bit.
+//
+// Hot-path layout: the (time, seq) keys live in a plain binary heap of
+// 24-byte PODs, and the callables live in a slot pool of small-buffer
+// EventFn objects, so scheduling and dispatching an event performs no
+// heap allocation (the SimExecutor's closures fit the inline storage;
+// std::function events used to allocate one node per event). Because
+// (time, seq) is a strict total order — seq is unique — any correct
+// heap pops events in exactly one order, so the pooled engine is
+// cycle-for-cycle identical to the old priority_queue one.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace sim {
@@ -17,12 +28,103 @@ namespace sim {
 // Simulated clock cycles.
 using Cycles = uint64_t;
 
+// Move-only callable with inline storage sized for the executors'
+// closures. Larger callables transparently fall back to one heap
+// allocation (std::function-sized captures still fit inline).
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
+          new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move)(void* dst, void* src);  // move-construct dst from src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**reinterpret_cast<D**>(p))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* p) { delete *reinterpret_cast<D**>(p); }};
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 class Engine {
  public:
   // Schedule `fn` to run at absolute time `t` (must be >= now()).
-  void schedule_at(Cycles t, std::function<void()> fn);
+  void schedule_at(Cycles t, EventFn fn);
   // Schedule `fn` `delta` cycles from now.
-  void schedule_after(Cycles delta, std::function<void()> fn) {
+  void schedule_after(Cycles delta, EventFn fn) {
     schedule_at(now_ + delta, std::move(fn));
   }
 
@@ -35,18 +137,22 @@ class Engine {
   uint64_t events_processed() const { return processed_; }
 
  private:
-  struct Event {
+  // Heap keys are kept apart from the callables so sift operations move
+  // trivially-copyable 24-byte entries, not 56-byte EventFn objects.
+  struct HeapEntry {
     Cycles time;
-    uint64_t seq;  // stable tie-break: earlier-scheduled first
-    std::function<void()> fn;
+    uint64_t seq;   // stable tie-break: earlier-scheduled first
+    uint32_t slot;  // index into pool_
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+  void sift_up(size_t i);
+  void sift_down(size_t i);
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapEntry> heap_;
+  std::vector<EventFn> pool_;
+  std::vector<uint32_t> free_slots_;
   Cycles now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
