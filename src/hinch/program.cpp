@@ -320,8 +320,18 @@ support::Result<std::unique_ptr<Program>> Program::build(
   prog->config_ = config;
   if (config.stream_depth < 1)
     return support::invalid_argument("stream_depth must be >= 1");
+  // Run the configured SP-IR pipeline on a clone; compile whatever
+  // comes out. With the default options this is the same normalized IR
+  // the loader and the generated-codegen path see.
+  sp::PassManager pipeline = sp::make_pipeline(config.passes);
+  const sp::Node* effective = &root;
+  sp::NodePtr transformed;
+  if (!pipeline.empty()) {
+    SUP_ASSIGN_OR_RETURN(transformed, pipeline.run(root.clone()));
+    effective = transformed.get();
+  }
   ProgramBuilder builder(prog.get(), registry);
-  SUP_RETURN_IF_ERROR(builder.build(root));
+  SUP_RETURN_IF_ERROR(builder.build(*effective));
   return prog;
 }
 

@@ -18,6 +18,7 @@
 #include "hinch/registry.hpp"
 #include "hinch/stream.hpp"
 #include "sp/graph.hpp"
+#include "sp/pass.hpp"
 #include "support/status.hpp"
 
 namespace hinch {
@@ -67,6 +68,11 @@ struct ManagerInfo {
 struct BuildConfig {
   // Stream slots / maximum iterations in flight (the paper pipelines 5).
   int stream_depth = 5;
+  // SP-IR passes run on (a clone of) the graph before compiling. The
+  // default pipeline (normalize + strip-dead-options) changes no task
+  // DAG for graphs without dead options; callers that already ran the
+  // pipeline themselves pass sp::PassOptions::none().
+  sp::PassOptions passes;
 };
 
 class Program {

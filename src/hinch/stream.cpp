@@ -22,6 +22,8 @@ Stream::Stream(std::string name, int depth)
 void Stream::write(int64_t iter, Packet packet) {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t s = slot_of(iter);
+  max_packet_bytes_ =
+      std::max(max_packet_bytes_, packet.size_bytes());
   slots_[s] = std::move(packet);
   written_iter_[s] = iter;
 }
@@ -56,7 +58,10 @@ Packet& Stream::acquire_slot(int64_t iter) {
 
 void Stream::commit_slot(int64_t iter) {
   std::lock_guard<std::mutex> lock(mutex_);
-  written_iter_[slot_of(iter)] = iter;
+  size_t s = slot_of(iter);
+  max_packet_bytes_ =
+      std::max(max_packet_bytes_, slots_[s].size_bytes());
+  written_iter_[s] = iter;
 }
 
 media::FramePtr Stream::get_or_alloc_frame(int64_t iter,

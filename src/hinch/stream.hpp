@@ -121,6 +121,14 @@ class Stream {
   int index() const { return index_; }
   void set_index(int idx) { index_ = idx; }
 
+  // High-water packet size ever published on this stream (bytes).
+  // perf::measure_stream_slot_bytes profiles this to size the footprint
+  // a link parks in the cache hierarchy.
+  uint64_t max_packet_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_packet_bytes_;
+  }
+
  private:
   size_t slot_of(int64_t iter) const {
     SUP_DCHECK(iter >= 0);
@@ -133,6 +141,7 @@ class Stream {
   mutable std::mutex mutex_;
   std::vector<Packet> slots_;
   std::vector<int64_t> written_iter_;  // -1 = never written
+  uint64_t max_packet_bytes_ = 0;
 };
 
 }  // namespace hinch

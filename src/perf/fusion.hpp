@@ -1,0 +1,65 @@
+// The cost-model side of the auto-group pass (§4.1): decides, per
+// fusion candidate, whether fusing a stream-connected chain into one
+// task beats leaving it pipelined/sliced.
+//
+// The decision sees the simulated cache hierarchy (sim::CacheConfig):
+// fusing pays off when the linking streams' in-flight packets overflow
+// the L2 — every consumer read then goes to memory — and the predicted
+// miss-stall savings beat the serialization loss from giving up the
+// chain's parallelism. Link footprints come from a short profiling run
+// (measure_stream_slot_bytes) of the *unfused* program.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hinch/registry.hpp"
+#include "sim/cache.hpp"
+#include "sp/fuse.hpp"
+#include "support/status.hpp"
+
+namespace perf {
+
+// What the fusion decision knows about the machine and the run.
+struct FusionModel {
+  sim::CacheConfig cache;  // the simulated hierarchy (§4.1's L2 regime)
+  int cores = 1;           // parallelism fusion would actually forfeit
+  int window = 5;          // stream depth: packets in flight per link
+  // Share of the L2 the parked link packets may occupy before the model
+  // calls the link thrashing. Half leaves room for the working set the
+  // components themselves touch.
+  double l2_share = 0.5;
+  // Fallback estimate of compute cycles per byte moved across the link,
+  // used to price the serialization loss of the fused chain.
+  double cycles_per_byte = 4.0;
+};
+
+// Per-stream high-water packet bytes, keyed by elaborated stream name.
+using StreamBytes = std::map<std::string, uint64_t>;
+
+// Builds the (unfused) program and simulates `iterations` frames on one
+// core, then reads every stream's high-water packet size. Streams never
+// written during the profile (e.g. inside disabled options) report 0,
+// which makes the advisor decline their fusions — conservative.
+support::Result<StreamBytes> measure_stream_slot_bytes(
+    const sp::Node& root, const hinch::ComponentRegistry& registry,
+    int iterations = 2);
+
+// The pure decision, exposed for tests: `link_bytes` is the summed
+// packet size of the links a fusion would internalize,
+// `lost_parallelism` the slice replication the fused task gives up.
+bool fusion_wins(const FusionModel& model, uint64_t link_bytes,
+                 int lost_parallelism);
+
+// Advisor over an already-measured byte map (cheap to copy per sweep
+// point; the map is shared by value).
+sp::FusionAdvisor make_fusion_advisor(StreamBytes bytes, FusionModel model);
+
+// Convenience: measure the graph, then wrap the result. Fails when the
+// profiling build/run fails (unknown component class etc.).
+support::Result<sp::FusionAdvisor> make_fusion_advisor(
+    const sp::Node& root, const hinch::ComponentRegistry& registry,
+    FusionModel model);
+
+}  // namespace perf

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sp/transform.hpp"
+#include "sp/pass.hpp"
 #include "sp/validate.hpp"
 
 namespace perf {
@@ -60,6 +60,21 @@ WorkSpan evaluate(const sp::Node& n, const LeafCost& cost, int slice_count,
   return {};
 }
 
+// §3.3: non-SP (crossdep) structures are predicted through their SP
+// form. Both tree entry points used to hand-call sp::to_sp_form here;
+// they now share the to-sp-form pipeline pass. Returns `root` itself
+// when it is already SP; otherwise `storage` owns the converted tree.
+const sp::Node* sp_form_of(const sp::Node& root, sp::NodePtr* storage) {
+  if (sp::is_sp_form(root)) return &root;
+  sp::PassOptions options = sp::PassOptions::none();
+  options.to_sp_form = true;
+  support::Result<sp::NodePtr> res =
+      sp::make_pipeline(options).run(root.clone());
+  SUP_CHECK_MSG(res.is_ok(), res.status().to_string().c_str());
+  *storage = std::move(res).take();
+  return storage->get();
+}
+
 Prediction finish(WorkSpan ws, int processors) {
   Prediction p;
   p.processors = std::max(1, processors);
@@ -77,15 +92,8 @@ Prediction finish(WorkSpan ws, int processors) {
 
 Prediction predict_from_tree(const sp::Node& root, const LeafCost& cost,
                              int processors) {
-  WorkSpan ws;
-  if (!sp::is_sp_form(root)) {
-    // §3.3: non-SP (crossdep) structures are predicted through their SP
-    // form, obtained by adding a sync point between the parblocks.
-    sp::NodePtr sp_root = sp::to_sp_form(root);
-    ws = evaluate(*sp_root, cost, 1);
-  } else {
-    ws = evaluate(root, cost, 1);
-  }
+  sp::NodePtr storage;
+  WorkSpan ws = evaluate(*sp_form_of(root, &storage), cost, 1);
   return finish(ws, processors);
 }
 
@@ -127,13 +135,9 @@ Prediction predict_from_profile(const hinch::Program& prog,
 
 double wcet_iteration(const sp::Node& root, const LeafCost& worst_cost,
                       int processors) {
-  WorkSpan ws;
-  if (!sp::is_sp_form(root)) {
-    sp::NodePtr sp_root = sp::to_sp_form(root);
-    ws = evaluate(*sp_root, worst_cost, 1, /*include_disabled=*/true);
-  } else {
-    ws = evaluate(root, worst_cost, 1, /*include_disabled=*/true);
-  }
+  sp::NodePtr storage;
+  WorkSpan ws = evaluate(*sp_form_of(root, &storage), worst_cost, 1,
+                         /*include_disabled=*/true);
   return finish(ws, processors).t_iteration;
 }
 

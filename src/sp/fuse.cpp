@@ -1,0 +1,122 @@
+#include "sp/fuse.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace sp {
+namespace {
+
+// A step can join a fused run only if scheduling its whole subtree as
+// one sequential unit is legal: options and managers need their own
+// tasks (they gate / reconfigure at run time), and crossdep regions
+// carry cross-replica dependencies the flattened order would hide.
+bool fusible(const Node& n) {
+  switch (n.kind()) {
+    case NodeKind::kLeaf:
+    case NodeKind::kGroup:
+      return true;
+    case NodeKind::kOption:
+    case NodeKind::kManager:
+      return false;
+    case NodeKind::kPar:
+      if (n.shape == ParShape::kCrossDep) return false;
+      break;
+    case NodeKind::kSeq:
+      break;
+  }
+  for (const NodePtr& c : n.children)
+    if (!fusible(*c)) return false;
+  return true;
+}
+
+struct StepIo {
+  std::vector<const Node*> leaves;  // depth-first (schedule) order
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  int max_replicas = 1;
+};
+
+void scan_step(const Node& n, int mult, StepIo* io) {
+  if (n.kind() == NodeKind::kLeaf) {
+    io->leaves.push_back(&n);
+    io->max_replicas = std::max(io->max_replicas, mult);
+    for (const PortBinding& b : n.leaf.inputs) io->reads.insert(b.stream);
+    for (const PortBinding& b : n.leaf.outputs) io->writes.insert(b.stream);
+    return;
+  }
+  if (n.kind() == NodeKind::kPar && n.shape != ParShape::kTask)
+    mult *= n.replicas;
+  for (const NodePtr& c : n.children) scan_step(*c, mult, io);
+}
+
+StepIo step_io(const Node& n) {
+  StepIo io;
+  scan_step(n, 1, &io);
+  return io;
+}
+
+// Fuses runs inside `n` when it is a seq; recurses first so nested seq
+// regions (e.g. parblock bodies) get their own fusion opportunities.
+void fuse_rec(Node* n, const FusionAdvisor& advisor) {
+  for (NodePtr& c : n->children) fuse_rec(c.get(), advisor);
+  if (n->kind() != NodeKind::kSeq || n->children.size() < 2) return;
+
+  std::vector<NodePtr> out;
+  out.reserve(n->children.size());
+  size_t i = 0;
+  while (i < n->children.size()) {
+    if (!fusible(*n->children[i])) {
+      out.push_back(std::move(n->children[i]));
+      ++i;
+      continue;
+    }
+    // Grow a run from step i across stream-connected fusible steps.
+    StepIo run = step_io(*n->children[i]);
+    size_t j = i + 1;
+    while (j < n->children.size() && fusible(*n->children[j])) {
+      StepIo step = step_io(*n->children[j]);
+      FusionCandidate cand;
+      cand.run_leaves = run.leaves;
+      cand.step_leaves = step.leaves;
+      for (const std::string& s : step.reads)
+        if (run.writes.count(s)) cand.link_streams.push_back(s);
+      if (cand.link_streams.empty()) break;  // not producer->consumer
+      cand.lost_replicas = std::max(run.max_replicas, step.max_replicas);
+      if (advisor && !advisor(cand)) break;
+      run.leaves.insert(run.leaves.end(), step.leaves.begin(),
+                        step.leaves.end());
+      run.writes.insert(step.writes.begin(), step.writes.end());
+      run.max_replicas = cand.lost_replicas;
+      ++j;
+    }
+    if (j - i >= 2) {
+      std::vector<NodePtr> members;
+      members.reserve(run.leaves.size());
+      for (const Node* leaf : run.leaves) members.push_back(leaf->clone());
+      out.push_back(make_group(std::move(members)));
+    } else {
+      out.push_back(std::move(n->children[i]));
+    }
+    i = j;
+  }
+  n->children = std::move(out);
+}
+
+}  // namespace
+
+Pass auto_group_pass(FusionAdvisor advisor) {
+  Pass p;
+  p.name = "auto-group";
+  p.description =
+      "fuse stream-connected producer->consumer chains into groups when "
+      "the cost model predicts a win (section 4.1)";
+  p.run = [advisor = std::move(advisor)](
+              NodePtr g) -> support::Result<NodePtr> {
+    fuse_rec(g.get(), advisor);
+    return g;
+  };
+  return p;
+}
+
+}  // namespace sp

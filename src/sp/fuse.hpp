@@ -1,0 +1,48 @@
+// The auto-group pass (§4.1): fuse stream-connected producer->consumer
+// step chains inside seq regions into kGroup nodes, so consumers run
+// immediately after their producers on the same core and the linking
+// stream's packets never park in the L2. This is the paper's own
+// proposed remedy for the coordination overhead its profiling blames on
+// cache misses — automated, where the repo previously only offered the
+// manual <group> XSPCL element.
+//
+// Fusing is always semantically safe: a group executes its components
+// in the order they already had under the seq, and all stream I/O still
+// goes through the same Stream objects, so output is bit-identical.
+// What fusion costs is parallelism — the fused task is unsliced and
+// unpipelined — so each fusion is arbitrated by a FusionAdvisor; the
+// cost-model-backed one lives in perf::make_fusion_advisor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sp/graph.hpp"
+#include "sp/pass.hpp"
+
+namespace sp {
+
+// One proposed fusion step: append `step_leaves` (the leaves of the next
+// seq step) to the run already collected in `run_leaves`. The advisor
+// sees which streams would stop parking between tasks and how much
+// replication the fused task gives up.
+struct FusionCandidate {
+  // Leaves already fused into the run, in schedule order.
+  std::vector<const Node*> run_leaves;
+  // Leaves of the step proposed for fusion, in schedule order.
+  std::vector<const Node*> step_leaves;
+  // Streams written by the run and read by the step — the links whose
+  // packets stop traversing the cache hierarchy if this fusion is taken.
+  std::vector<std::string> link_streams;
+  // Maximum slice replication across run and step; fused, it becomes 1.
+  int lost_replicas = 1;
+};
+
+// The pass. Walks every seq region greedily left-to-right: a run starts
+// at a fusible step (no options, managers or crossdep regions inside)
+// and extends across each stream-connected neighbour the advisor
+// approves; runs of two or more steps are replaced by a group of their
+// leaves in depth-first order. An empty advisor approves everything.
+Pass auto_group_pass(FusionAdvisor advisor);
+
+}  // namespace sp

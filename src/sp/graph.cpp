@@ -36,8 +36,15 @@ const char* action_name(EventAction a) {
   return "?";
 }
 
+std::string loc_suffix(const SourceLoc& loc) {
+  if (!loc.valid()) return "";
+  return " (at " + std::to_string(loc.line) + ":" +
+         std::to_string(loc.column) + ")";
+}
+
 NodePtr Node::clone() const {
   auto copy = std::make_unique<Node>(kind_);
+  copy->loc = loc;
   copy->leaf = leaf;
   copy->shape = shape;
   copy->replicas = replicas;

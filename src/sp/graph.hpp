@@ -30,6 +30,19 @@ enum class ParShape { kTask, kSlice, kCrossDep };
 const char* kind_name(NodeKind k);
 const char* shape_name(ParShape s);
 
+// Source position of the XML element a node was elaborated from (0 =
+// unknown, e.g. hand-built graphs). Lives here rather than reusing
+// xml::Position so the sp layer stays front-end-agnostic; diagnostics
+// append it via loc_suffix().
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+  bool valid() const { return line > 0; }
+};
+
+// " (at line:col)" when the location is known, "" otherwise.
+std::string loc_suffix(const SourceLoc& loc);
+
 // A name=value initialization parameter (§3.1).
 struct Param {
   std::string name;
@@ -76,6 +89,10 @@ class Node {
   explicit Node(NodeKind kind) : kind_(kind) {}
 
   NodeKind kind() const { return kind_; }
+
+  // Where in the XSPCL source this node came from (unset for hand-built
+  // or synthesized nodes).
+  SourceLoc loc;
 
   // --- leaf ---
   LeafSpec leaf;  // valid when kind == kLeaf

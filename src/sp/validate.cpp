@@ -1,5 +1,6 @@
 #include "sp/validate.hpp"
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -13,34 +14,40 @@ struct Context {
   std::set<std::string> options;
   std::set<std::string> managers;
   std::set<std::string> streams_written;
-  std::set<std::string> streams_read;
+  // Stream name -> position of the first reader (for the read-but-
+  // never-written diagnostic).
+  std::map<std::string, SourceLoc> streams_read;
 };
+
+// Source position of the offending node, appended to every message so
+// spec authors see where in the XSPCL the problem is.
+std::string at(const Node& n) { return loc_suffix(n.loc); }
 
 support::Status check(const Node& n, int manager_depth, Context* ctx) {
   switch (n.kind()) {
     case NodeKind::kLeaf: {
       if (n.leaf.instance.empty())
-        return support::invalid_argument("leaf with empty instance name");
+        return support::invalid_argument("leaf with empty instance name" + at(n));
       if (n.leaf.klass.empty())
         return support::invalid_argument("component '" + n.leaf.instance +
-                                         "' has no class");
+                                         "' has no class" + at(n));
       if (!ctx->instances.insert(n.leaf.instance).second)
         return support::already_exists("duplicate component instance '" +
-                                       n.leaf.instance + "'");
+                                       n.leaf.instance + "'" + at(n));
       if (!n.children.empty())
-        return support::invalid_argument("leaf nodes cannot have children");
+        return support::invalid_argument("leaf nodes cannot have children" + at(n));
       for (const PortBinding& b : n.leaf.inputs) {
         if (b.stream.empty())
           return support::invalid_argument("empty stream on input port '" +
                                            b.port + "' of '" +
-                                           n.leaf.instance + "'");
-        ctx->streams_read.insert(b.stream);
+                                           n.leaf.instance + "'" + at(n));
+        ctx->streams_read.emplace(b.stream, n.loc);
       }
       for (const PortBinding& b : n.leaf.outputs) {
         if (b.stream.empty())
           return support::invalid_argument("empty stream on output port '" +
                                            b.port + "' of '" +
-                                           n.leaf.instance + "'");
+                                           n.leaf.instance + "'" + at(n));
         ctx->streams_written.insert(b.stream);
       }
       return support::Status::ok();
@@ -49,54 +56,55 @@ support::Status check(const Node& n, int manager_depth, Context* ctx) {
       break;
     case NodeKind::kGroup: {
       if (n.children.empty())
-        return support::invalid_argument("group with no components");
+        return support::invalid_argument("group with no components" + at(n));
       for (const NodePtr& c : n.children) {
         if (c->kind() != NodeKind::kLeaf)
           return support::invalid_argument(
               "groups may only contain components (they are scheduled as "
-              "one entity)");
+              "one entity)" + at(n));
       }
       break;
     }
     case NodeKind::kPar: {
       if (n.children.empty())
-        return support::invalid_argument("parallel node with no parblocks");
+        return support::invalid_argument("parallel node with no parblocks" + at(n));
       if (n.replicas < 1)
-        return support::invalid_argument("parallel replicas must be >= 1");
+        return support::invalid_argument("parallel replicas must be >= 1" + at(n));
       if (n.shape == ParShape::kTask && n.replicas != 1)
         return support::invalid_argument(
-            "task-shaped parallel nodes have no replica count");
+            "task-shaped parallel nodes have no replica count" + at(n));
       if (n.shape == ParShape::kSlice && n.children.size() != 1)
         return support::invalid_argument(
-            "slice-shaped parallel nodes take exactly one parblock (§3.3)");
+            "slice-shaped parallel nodes take exactly one parblock (§3.3)" +
+            at(n));
       break;
     }
     case NodeKind::kOption: {
       if (n.option_name.empty())
-        return support::invalid_argument("option with empty name");
+        return support::invalid_argument("option with empty name" + at(n));
       if (manager_depth == 0)
         return support::failed_precondition(
             "option '" + n.option_name +
-            "' is not contained inside a manager (§3.4)");
+            "' is not contained inside a manager (§3.4)" + at(n));
       if (!ctx->options.insert(n.option_name).second)
         return support::already_exists("duplicate option '" + n.option_name +
-                                       "'");
+                                       "'" + at(n));
       if (n.children.size() != 1)
-        return support::invalid_argument("option must have exactly one child");
+        return support::invalid_argument("option must have exactly one child" + at(n));
       break;
     }
     case NodeKind::kManager: {
       if (n.manager_name.empty())
-        return support::invalid_argument("manager with empty name");
+        return support::invalid_argument("manager with empty name" + at(n));
       if (!ctx->managers.insert(n.manager_name).second)
         return support::already_exists("duplicate manager '" +
-                                       n.manager_name + "'");
+                                       n.manager_name + "'" + at(n));
       if (n.children.size() != 1)
         return support::invalid_argument(
-            "manager must have exactly one child");
+            "manager must have exactly one child" + at(n));
       if (n.event_queue.empty())
         return support::invalid_argument("manager '" + n.manager_name +
-                                         "' has no event queue");
+                                         "' has no event queue" + at(n));
       // Rules that flip options must reference an option inside this
       // manager's subgraph.
       std::set<std::string> local_options;
@@ -106,7 +114,8 @@ support::Status check(const Node& n, int manager_depth, Context* ctx) {
       for (const EventRule& r : n.rules) {
         if (r.event.empty())
           return support::invalid_argument("manager '" + n.manager_name +
-                                           "' has a rule with no event");
+                                           "' has a rule with no event" +
+                                           at(n));
         switch (r.action) {
           case EventAction::kEnable:
           case EventAction::kDisable:
@@ -115,12 +124,12 @@ support::Status check(const Node& n, int manager_depth, Context* ctx) {
               return support::not_found(
                   "manager '" + n.manager_name + "' rule for event '" +
                   r.event + "' references option '" + r.target +
-                  "' outside its subgraph");
+                  "' outside its subgraph" + at(n));
             break;
           case EventAction::kForward:
             if (r.target.empty())
               return support::invalid_argument(
-                  "forward rule with no destination queue");
+                  "forward rule with no destination queue" + at(n));
             break;
           case EventAction::kReconfigure:
             break;
@@ -141,10 +150,11 @@ support::Status check(const Node& n, int manager_depth, Context* ctx) {
 support::Status validate(const Node& root) {
   Context ctx;
   SUP_RETURN_IF_ERROR(check(root, 0, &ctx));
-  for (const std::string& s : ctx.streams_read) {
+  for (const auto& [s, loc] : ctx.streams_read) {
     if (!ctx.streams_written.count(s))
       return support::failed_precondition("stream '" + s +
-                                          "' is read but never written");
+                                          "' is read but never written" +
+                                          loc_suffix(loc));
   }
   return support::Status::ok();
 }

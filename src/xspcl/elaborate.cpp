@@ -78,7 +78,19 @@ class Elaborator {
   }
 
  private:
+  // Stamps every elaborated node with the position of the XML element it
+  // came from, so downstream diagnostics (sp::validate, pass
+  // verification) can point back into the spec. A call site keeps its
+  // body's own position — the leaves inside carry theirs regardless.
   support::Result<sp::NodePtr> elaborate_node(const Node& n, const Env& env) {
+    SUP_ASSIGN_OR_RETURN(sp::NodePtr out, elaborate_node_impl(n, env));
+    if (n.kind != ast::Kind::kCall)
+      out->loc = sp::SourceLoc{n.pos.line, n.pos.column};
+    return out;
+  }
+
+  support::Result<sp::NodePtr> elaborate_node_impl(const Node& n,
+                                                   const Env& env) {
     switch (n.kind) {
       case ast::Kind::kSeq: {
         std::vector<sp::NodePtr> steps;

@@ -8,6 +8,7 @@
 #include "components/components.hpp"
 #include "components/sinks.hpp"
 #include "hinch/runtime.hpp"
+#include "perf/fusion.hpp"
 #include "xspcl/loader.hpp"
 
 namespace {
@@ -164,6 +165,53 @@ TEST(JpipApp, GroupedVariantProducesIdenticalOutput) {
   ASSERT_TRUE(prog);
   EXPECT_EQ(run_sim_checksum(*prog, config.frames, 1), seq.checksum);
   EXPECT_EQ(run_sim_checksum(*prog, config.frames, 3), seq.checksum);
+}
+
+TEST(JpipApp, AutoGroupedVariantProducesIdenticalOutput) {
+  // The auto-group pass on the PLAIN spec: force every fusion (bypassing
+  // the cost model) and the output must still be bit-identical — fusion
+  // only reorders scheduling, never dataflow.
+  JpipConfig config = small_jpip(1);
+  apps::SeqResult seq = apps::run_jpip_sequential(config);
+  components::register_standard_globally();
+  hinch::Program::BuildConfig build_config;
+  build_config.passes.auto_group = true;
+  build_config.passes.advisor = [](const sp::FusionCandidate&) {
+    return true;
+  };
+  auto prog = xspcl::build_program(apps::jpip_xspcl(config),
+                                   hinch::ComponentRegistry::global(),
+                                   build_config);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+  int fused_tasks = 0;
+  for (const hinch::Task& t : prog.value()->tasks())
+    if (t.components.size() > 1) ++fused_tasks;
+  EXPECT_GT(fused_tasks, 0);
+  EXPECT_EQ(run_sim_checksum(*prog.value(), config.frames, 1), seq.checksum);
+  EXPECT_EQ(run_sim_checksum(*prog.value(), config.frames, 3), seq.checksum);
+}
+
+TEST(JpipApp, CostModelAdvisorPreservesOutput) {
+  // End-to-end through the measuring advisor (profiling run + cost
+  // model). Whatever it decides at this scaled-down size, the checksum
+  // must not move.
+  JpipConfig config = small_jpip(1);
+  apps::SeqResult seq = apps::run_jpip_sequential(config);
+  components::register_standard_globally();
+  auto graph = xspcl::load_string(apps::jpip_xspcl(config));
+  ASSERT_TRUE(graph.is_ok()) << graph.status().to_string();
+  perf::FusionModel model;
+  model.cores = 1;
+  auto advisor = perf::make_fusion_advisor(
+      *graph.value(), hinch::ComponentRegistry::global(), model);
+  ASSERT_TRUE(advisor.is_ok()) << advisor.status().to_string();
+  hinch::Program::BuildConfig build_config;
+  build_config.passes.auto_group = true;
+  build_config.passes.advisor = advisor.value();
+  auto prog = hinch::Program::build(
+      *graph.value(), hinch::ComponentRegistry::global(), build_config);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+  EXPECT_EQ(run_sim_checksum(*prog.value(), config.frames, 1), seq.checksum);
 }
 
 TEST(JpipApp, TwoPipsMatchSequential) {

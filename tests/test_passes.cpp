@@ -1,0 +1,463 @@
+// The SP-IR pass pipeline: normalize / strip-dead-options semantics,
+// PassManager verification and dump hooks, pass registry lookup, the
+// auto-group fusion pass, and the perf cost model arbitrating it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/fusion.hpp"
+#include "sp/fuse.hpp"
+#include "sp/graph.hpp"
+#include "sp/pass.hpp"
+#include "sp/validate.hpp"
+
+namespace {
+
+using sp::EventAction;
+using sp::EventRule;
+using sp::LeafSpec;
+using sp::NodeKind;
+using sp::NodePtr;
+using sp::ParShape;
+
+LeafSpec leaf(const std::string& name, const std::string& in = "",
+              const std::string& out = "") {
+  LeafSpec spec;
+  spec.instance = name;
+  spec.klass = "k_" + name;
+  if (!in.empty()) spec.inputs.push_back({"in", in});
+  if (!out.empty()) spec.outputs.push_back({"out", out});
+  return spec;
+}
+
+NodePtr simple_chain() {
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("src", "", "a")));
+  steps.push_back(sp::make_leaf(leaf("mid", "a", "b")));
+  steps.push_back(sp::make_leaf(leaf("sink", "b", "")));
+  return sp::make_seq(std::move(steps));
+}
+
+std::vector<std::string> leaf_names(const sp::Node& root) {
+  std::vector<std::string> out;
+  for (const sp::Node* l : sp::collect_leaves(root))
+    out.push_back(l->leaf.instance);
+  return out;
+}
+
+// Runs a pipeline with exactly the given switches (everything else off).
+NodePtr run_pipeline(NodePtr g, const sp::PassOptions& options) {
+  auto res = sp::make_pipeline(options).run(std::move(g));
+  EXPECT_TRUE(res.is_ok()) << res.status().to_string();
+  return res.is_ok() ? std::move(res).take() : nullptr;
+}
+
+// --- normalize ----------------------------------------------------------------
+
+TEST(NormalizePass, FlattensNestedSeqs) {
+  // seq( seq(src, mid), seq(sink) ) -> seq(src, mid, sink)
+  std::vector<NodePtr> inner1;
+  inner1.push_back(sp::make_leaf(leaf("src", "", "a")));
+  inner1.push_back(sp::make_leaf(leaf("mid", "a", "b")));
+  std::vector<NodePtr> inner2;
+  inner2.push_back(sp::make_leaf(leaf("sink", "b", "")));
+  std::vector<NodePtr> outer;
+  outer.push_back(sp::make_seq(std::move(inner1)));
+  outer.push_back(sp::make_seq(std::move(inner2)));
+  NodePtr root = sp::make_seq(std::move(outer));
+
+  std::vector<std::string> before = leaf_names(*root);
+  sp::PassOptions only_normalize = sp::PassOptions::none();
+  only_normalize.normalize = true;
+  root = run_pipeline(std::move(root), only_normalize);
+  ASSERT_TRUE(root);
+
+  EXPECT_EQ(root->kind(), NodeKind::kSeq);
+  ASSERT_EQ(root->children.size(), 3u);
+  for (const NodePtr& c : root->children)
+    EXPECT_EQ(c->kind(), NodeKind::kLeaf);
+  // Task ids/labels are assigned in depth-first leaf order, so the same
+  // order means the same task DAG.
+  EXPECT_EQ(leaf_names(*root), before);
+  EXPECT_TRUE(sp::validate(*root).is_ok());
+}
+
+TEST(NormalizePass, FlattensBottomUpThroughDeepNesting) {
+  // seq(seq(seq(src)), mid, seq(sink)) -> one flat 3-step seq.
+  std::vector<NodePtr> s0;
+  s0.push_back(sp::make_leaf(leaf("src", "", "a")));
+  std::vector<NodePtr> s1;
+  s1.push_back(sp::make_seq(std::move(s0)));
+  std::vector<NodePtr> s2;
+  s2.push_back(sp::make_seq(std::move(s1)));
+  s2.push_back(sp::make_leaf(leaf("mid", "a", "b")));
+  std::vector<NodePtr> s3;
+  s3.push_back(sp::make_leaf(leaf("sink", "b", "")));
+  s2.push_back(sp::make_seq(std::move(s3)));
+  NodePtr root = sp::make_seq(std::move(s2));
+
+  sp::PassOptions only_normalize = sp::PassOptions::none();
+  only_normalize.normalize = true;
+  root = run_pipeline(std::move(root), only_normalize);
+  ASSERT_TRUE(root);
+  ASSERT_EQ(root->children.size(), 3u);
+  EXPECT_EQ(sp::stats(*root).seq_nodes, 1);
+}
+
+// --- strip-dead-options -------------------------------------------------------
+
+TEST(StripDeadOptionsPass, KeepsRuleReferencedDropsDeadSplicesEnabled) {
+  // Manager toggles "kept"; "dead" (disabled) and "gone" (enabled) have
+  // no rule. After the pass: kept survives as an option, dead's subtree
+  // vanishes, gone's body is spliced in unguarded.
+  std::vector<NodePtr> body;
+  body.push_back(sp::make_option("kept", true,
+                                 sp::make_leaf(leaf("x", "", "a"))));
+  body.push_back(sp::make_option("dead", false,
+                                 sp::make_leaf(leaf("d", "", "junk"))));
+  body.push_back(sp::make_option("gone", true,
+                                 sp::make_leaf(leaf("g", "", "b"))));
+  NodePtr mgr = sp::make_manager(
+      "m", "q", {EventRule{"e", EventAction::kToggle, "kept", ""}},
+      sp::make_seq(std::move(body)));
+  std::vector<NodePtr> steps;
+  steps.push_back(std::move(mgr));
+  steps.push_back(sp::make_leaf(leaf("sink_a", "a", "")));
+  steps.push_back(sp::make_leaf(leaf("sink_b", "b", "")));
+  NodePtr root = sp::make_seq(std::move(steps));
+  ASSERT_TRUE(sp::validate(*root).is_ok());
+
+  sp::PassOptions only_strip = sp::PassOptions::none();
+  only_strip.strip_dead_options = true;
+  root = run_pipeline(std::move(root), only_strip);
+  ASSERT_TRUE(root);
+
+  std::vector<std::string> options;
+  bool saw_d = false, saw_g = false;
+  sp::visit(*root, [&](const sp::Node& n) {
+    if (n.kind() == NodeKind::kOption) options.push_back(n.option_name);
+    if (n.kind() == NodeKind::kLeaf && n.leaf.instance == "d") saw_d = true;
+    if (n.kind() == NodeKind::kLeaf && n.leaf.instance == "g") saw_g = true;
+  });
+  EXPECT_EQ(options, std::vector<std::string>{"kept"});
+  EXPECT_FALSE(saw_d);  // disabled + unreferenced: removed with subtree
+  EXPECT_TRUE(saw_g);   // enabled + unreferenced: body kept, guard gone
+  EXPECT_TRUE(sp::validate(*root).is_ok())
+      << sp::validate(*root).to_string();
+}
+
+TEST(StripDeadOptionsPass, CascadeDeletesEmptiedParents) {
+  // A seq step holding only a dead disabled option disappears entirely.
+  std::vector<NodePtr> inner;
+  inner.push_back(sp::make_option("dead", false,
+                                  sp::make_leaf(leaf("d", "", "junk"))));
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_seq(std::move(inner)));
+  steps.push_back(sp::make_leaf(leaf("src", "", "a")));
+  steps.push_back(sp::make_leaf(leaf("sink", "a", "")));
+  NodePtr root = sp::make_seq(std::move(steps));
+
+  sp::PassOptions only_strip = sp::PassOptions::none();
+  only_strip.strip_dead_options = true;
+  root = run_pipeline(std::move(root), only_strip);
+  ASSERT_TRUE(root);
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(leaf_names(*root), (std::vector<std::string>{"src", "sink"}));
+}
+
+// --- PassManager --------------------------------------------------------------
+
+TEST(PassManager, VerifyCatchesPassThatBreaksTheGraph) {
+  sp::PassManager pm;
+  pm.set_verify(true);
+  sp::Pass bad;
+  bad.name = "clobber";
+  bad.description = "replaces the graph with a duplicate-instance one";
+  bad.run = [](NodePtr) -> support::Result<NodePtr> {
+    std::vector<NodePtr> steps;
+    steps.push_back(sp::make_leaf(leaf("x", "", "a")));
+    steps.push_back(sp::make_leaf(leaf("x", "a", "")));
+    return sp::make_seq(std::move(steps));
+  };
+  pm.add(std::move(bad));
+
+  auto res = pm.run(simple_chain());
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), support::Code::kInternal);
+  EXPECT_NE(res.status().message().find("clobber"), std::string::npos)
+      << res.status().message();
+}
+
+TEST(PassManager, VerifySkippedWhenInputAlreadyInvalid) {
+  // The pipeline is not the validator: a graph that does not validate
+  // going in (option outside a manager) passes through verification
+  // untouched so hinch-level rejection tests keep their error codes.
+  sp::PassManager pm;
+  pm.set_verify(true);
+  pm.add(sp::normalize_pass());
+  NodePtr invalid = sp::make_option("opt", true,
+                                    sp::make_leaf(leaf("x", "", "a")));
+  auto res = pm.run(std::move(invalid));
+  EXPECT_TRUE(res.is_ok()) << res.status().to_string();
+}
+
+TEST(PassManager, ErrorsNameTheFailingPass) {
+  sp::PassManager pm;
+  sp::Pass failing;
+  failing.name = "explode";
+  failing.description = "always fails";
+  failing.run = [](NodePtr) -> support::Result<NodePtr> {
+    return support::invalid_argument("boom");
+  };
+  pm.add(std::move(failing));
+  auto res = pm.run(simple_chain());
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), support::Code::kInvalidArgument);
+  EXPECT_NE(res.status().message().find("explode"), std::string::npos);
+  EXPECT_NE(res.status().message().find("boom"), std::string::npos);
+}
+
+TEST(PassManager, DumpHookFiresAfterEveryPassInOrder) {
+  sp::PassOptions options;  // default build pipeline
+  sp::PassManager pm = sp::make_pipeline(options);
+  std::vector<std::string> seen;
+  pm.set_dump_hook([&](const std::string& pass, const sp::Node& g) {
+    seen.push_back(pass);
+    EXPECT_GT(sp::stats(g).leaves, 0);
+  });
+  auto res = pm.run(simple_chain());
+  ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+  EXPECT_EQ(seen,
+            (std::vector<std::string>{"normalize", "strip-dead-options"}));
+}
+
+TEST(PassRegistry, RegisteredPassesInCanonicalOrder) {
+  const std::vector<sp::PassInfo>& passes = sp::registered_passes();
+  ASSERT_EQ(passes.size(), 4u);
+  EXPECT_EQ(passes[0].name, "normalize");
+  EXPECT_TRUE(passes[0].default_on);
+  EXPECT_EQ(passes[1].name, "strip-dead-options");
+  EXPECT_TRUE(passes[1].default_on);
+  EXPECT_EQ(passes[2].name, "to-sp-form");
+  EXPECT_FALSE(passes[2].default_on);
+  EXPECT_EQ(passes[3].name, "auto-group");
+  EXPECT_FALSE(passes[3].default_on);
+}
+
+TEST(PassRegistry, UnknownPassNameListsTheRegisteredOnes) {
+  auto res = sp::pass_by_name("bogus", {});
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), support::Code::kNotFound);
+  EXPECT_NE(res.status().message().find("normalize"), std::string::npos);
+  EXPECT_NE(res.status().message().find("auto-group"), std::string::npos);
+}
+
+TEST(PassRegistry, EveryRegisteredNameResolves) {
+  for (const sp::PassInfo& info : sp::registered_passes()) {
+    auto res = sp::pass_by_name(info.name, {});
+    ASSERT_TRUE(res.is_ok()) << info.name;
+    EXPECT_EQ(res.value().name, info.name);
+  }
+}
+
+// --- auto-group ---------------------------------------------------------------
+
+sp::PassOptions auto_group_only(sp::FusionAdvisor advisor = {}) {
+  sp::PassOptions o = sp::PassOptions::none();
+  o.auto_group = true;
+  o.advisor = std::move(advisor);
+  return o;
+}
+
+int count_groups(const sp::Node& root) {
+  int groups = 0;
+  sp::visit(root, [&](const sp::Node& n) {
+    if (n.kind() == NodeKind::kGroup) ++groups;
+  });
+  return groups;
+}
+
+TEST(AutoGroupPass, FusesStreamConnectedChainWithEmptyAdvisor) {
+  NodePtr root = run_pipeline(simple_chain(), auto_group_only());
+  ASSERT_TRUE(root);
+  ASSERT_EQ(root->children.size(), 1u);
+  const sp::Node& group = *root->children[0];
+  ASSERT_EQ(group.kind(), NodeKind::kGroup);
+  EXPECT_EQ(leaf_names(group),
+            (std::vector<std::string>{"src", "mid", "sink"}));
+  EXPECT_TRUE(sp::validate(*root).is_ok())
+      << sp::validate(*root).to_string();
+}
+
+TEST(AutoGroupPass, DecliningAdvisorLeavesGraphUnfused) {
+  NodePtr root = run_pipeline(
+      simple_chain(),
+      auto_group_only([](const sp::FusionCandidate&) { return false; }));
+  ASSERT_TRUE(root);
+  EXPECT_EQ(count_groups(*root), 0);
+  EXPECT_EQ(root->children.size(), 3u);
+}
+
+TEST(AutoGroupPass, UnconnectedStepsDoNotFuse) {
+  // Two independent producer/consumer pairs interleaved so no adjacent
+  // steps are stream-connected: nothing to fuse even when the advisor
+  // approves everything.
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("src1", "", "a")));
+  steps.push_back(sp::make_leaf(leaf("src2", "", "b")));
+  steps.push_back(sp::make_leaf(leaf("sink1", "a", "")));
+  NodePtr root = sp::make_seq(std::move(steps));
+  root = run_pipeline(std::move(root), auto_group_only());
+  ASSERT_TRUE(root);
+  // src2 reads nothing src1 wrote, so the run from src1 stops there;
+  // sink1 does read src1's "a" but is no longer adjacent to a run
+  // containing it. Fusion is strictly over neighbouring steps.
+  EXPECT_EQ(count_groups(*root), 0);
+}
+
+TEST(AutoGroupPass, OptionStepsBreakRuns) {
+  // manager(option(...)) between producer and consumer: not fusible, so
+  // no run can span it.
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("src", "", "a")));
+  NodePtr opt = sp::make_option("extra", true,
+                                sp::make_leaf(leaf("fx", "a", "b")));
+  steps.push_back(sp::make_manager(
+      "m", "q", {EventRule{"e", EventAction::kToggle, "extra", ""}},
+      std::move(opt)));
+  steps.push_back(sp::make_leaf(leaf("sink", "b", "")));
+  NodePtr root = sp::make_seq(std::move(steps));
+  ASSERT_TRUE(sp::validate(*root).is_ok());
+  root = run_pipeline(std::move(root), auto_group_only());
+  ASSERT_TRUE(root);
+  EXPECT_EQ(count_groups(*root), 0);
+  EXPECT_EQ(root->children.size(), 3u);
+}
+
+TEST(AutoGroupPass, CandidateReportsLinksAndLostReplicas) {
+  // src -> slice-par(4){work} -> sink. The advisor must see the linking
+  // stream and the slicing the fusion would forfeit.
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("src", "", "a")));
+  std::vector<NodePtr> block;
+  block.push_back(sp::make_leaf(leaf("work", "a", "b")));
+  std::vector<NodePtr> parblocks;
+  parblocks.push_back(sp::make_seq(std::move(block)));
+  steps.push_back(sp::make_par(ParShape::kSlice, 4, std::move(parblocks)));
+  steps.push_back(sp::make_leaf(leaf("sink", "b", "")));
+  NodePtr root = sp::make_seq(std::move(steps));
+
+  struct Seen {
+    std::vector<std::string> links;
+    int lost_replicas;
+    size_t run_size;
+    size_t step_size;
+  };
+  std::vector<Seen> candidates;
+  root = run_pipeline(
+      std::move(root),
+      auto_group_only([&](const sp::FusionCandidate& c) {
+        candidates.push_back(Seen{c.link_streams, c.lost_replicas,
+                                  c.run_leaves.size(),
+                                  c.step_leaves.size()});
+        return true;
+      }));
+  ASSERT_TRUE(root);
+
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].links, std::vector<std::string>{"a"});
+  EXPECT_EQ(candidates[0].lost_replicas, 4);
+  EXPECT_EQ(candidates[0].run_size, 1u);
+  EXPECT_EQ(candidates[0].step_size, 1u);
+  EXPECT_EQ(candidates[1].links, std::vector<std::string>{"b"});
+  EXPECT_EQ(candidates[1].lost_replicas, 4);
+  EXPECT_EQ(candidates[1].run_size, 2u);
+
+  EXPECT_EQ(count_groups(*root), 1);
+  EXPECT_EQ(leaf_names(*root),
+            (std::vector<std::string>{"src", "work", "sink"}));
+}
+
+TEST(AutoGroupPass, FusesInsideParblockBodies) {
+  // A chain nested inside a task-par parblock gets its own fusion; the
+  // sibling parblock (a single step) is left alone.
+  std::vector<NodePtr> inner;
+  inner.push_back(sp::make_leaf(leaf("p_src", "", "x")));
+  inner.push_back(sp::make_leaf(leaf("p_sink", "x", "")));
+  std::vector<NodePtr> other;
+  other.push_back(sp::make_leaf(leaf("lone", "", "y")));
+  std::vector<NodePtr> parblocks;
+  parblocks.push_back(sp::make_seq(std::move(inner)));
+  parblocks.push_back(sp::make_seq(std::move(other)));
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_par(ParShape::kTask, 1, std::move(parblocks)));
+  NodePtr root = sp::make_seq(std::move(steps));
+  ASSERT_TRUE(sp::validate(*root).is_ok());
+
+  root = run_pipeline(std::move(root), auto_group_only());
+  ASSERT_TRUE(root);
+  EXPECT_EQ(count_groups(*root), 1);
+  const sp::Node& par = *root->children[0];
+  ASSERT_EQ(par.kind(), NodeKind::kPar);
+  ASSERT_EQ(par.children[0]->children.size(), 1u);
+  EXPECT_EQ(par.children[0]->children[0]->kind(), NodeKind::kGroup);
+  EXPECT_TRUE(sp::validate(*root).is_ok());
+}
+
+// --- the perf cost model ------------------------------------------------------
+
+TEST(FusionModel, DeclinesWhenLinkFitsInL2Share) {
+  perf::FusionModel model;  // 16 MiB L2, share 0.5, window 5
+  // 1 MiB link: 5 MiB parked < 8 MiB budget — nothing to save.
+  EXPECT_FALSE(perf::fusion_wins(model, 1 << 20, 1));
+  EXPECT_FALSE(perf::fusion_wins(model, 0, 1));
+}
+
+TEST(FusionModel, FusesOverflowingLinkAtOneCore) {
+  perf::FusionModel model;
+  model.cores = 1;
+  // 4 MiB link: 20 MiB parked overflows; at one core fusion forfeits
+  // nothing, so the saving always wins.
+  EXPECT_TRUE(perf::fusion_wins(model, 4 << 20, 4));
+}
+
+TEST(FusionModel, DeclinesWhenForfeitedParallelismCostsMore) {
+  perf::FusionModel model;
+  model.cores = 4;
+  // Same overflowing link, but serializing a 4-way-sliced chain onto
+  // one of four cores loses more than the miss-stall saving.
+  EXPECT_FALSE(perf::fusion_wins(model, 4 << 20, 4));
+}
+
+TEST(FusionModel, LostParallelismCappedByCores) {
+  perf::FusionModel model;
+  model.cores = 1;
+  // Plenty of forfeited slicing, but only one core to run it on: no
+  // parallelism actually lost.
+  EXPECT_TRUE(perf::fusion_wins(model, 4 << 20, 16));
+}
+
+TEST(FusionModel, AdvisorSumsMeasuredLinkBytes) {
+  perf::StreamBytes bytes;
+  bytes["hot"] = 4 << 20;
+  bytes["cold"] = 1 << 10;
+  perf::FusionModel model;
+  model.cores = 1;
+  sp::FusionAdvisor advisor = perf::make_fusion_advisor(bytes, model);
+
+  sp::FusionCandidate hot;
+  hot.link_streams = {"hot"};
+  EXPECT_TRUE(advisor(hot));
+
+  sp::FusionCandidate cold;
+  cold.link_streams = {"cold"};
+  EXPECT_FALSE(advisor(cold));
+
+  // Streams the profile never saw measure 0 bytes: decline.
+  sp::FusionCandidate unknown;
+  unknown.link_streams = {"never_measured"};
+  EXPECT_FALSE(advisor(unknown));
+}
+
+}  // namespace

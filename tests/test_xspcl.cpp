@@ -328,6 +328,40 @@ TEST(Loader, LoadStringValidates) {
   EXPECT_EQ(r.status().code(), support::Code::kAlreadyExists);
 }
 
+// --- positioned diagnostics -----------------------------------------------------
+
+TEST(Elaborate, ErrorsCarrySourceLineAndColumn) {
+  // The bad call sits on line 2 of the spec; the diagnostic must point
+  // there, not just name the procedure.
+  const char* spec = R"(<xspcl><procedure name="main"><body>
+  <call procedure="nope"/>
+</body></procedure></xspcl>)";
+  auto program = xspcl::parse_string(spec);
+  ASSERT_TRUE(program.is_ok());
+  auto graph = xspcl::elaborate(program.value());
+  ASSERT_FALSE(graph.is_ok());
+  EXPECT_NE(graph.status().message().find("nope"), std::string::npos);
+  EXPECT_NE(graph.status().message().find("elaboration at 2:"),
+            std::string::npos)
+      << graph.status().message();
+}
+
+TEST(Loader, ValidateErrorsCarrySourceLineAndColumn) {
+  // sp::validate runs on elaborated nodes carrying XML positions: the
+  // read-but-never-written diagnostic must name the reader's line.
+  const char* spec = R"(<xspcl><procedure name="main"><body>
+  <component name="c" class="k">
+    <inport name="i" stream="ghost"/>
+  </component>
+</body></procedure></xspcl>)";
+  auto r = xspcl::load_string(spec);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), support::Code::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+  EXPECT_NE(r.status().message().find("(at 2:"), std::string::npos)
+      << r.status().message();
+}
+
 // --- codegen --------------------------------------------------------------------
 
 TEST(Codegen, EmitsBuildableStructure) {

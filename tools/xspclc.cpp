@@ -14,6 +14,13 @@
 //                                         profile 1 core, predict speedup
 //   xspclc emit-app <pip|jpip|blur> [--reconfigurable] [-o f]
 //                                         dump a built-in application spec
+//   xspclc passes                         list the registered SP-IR passes
+//
+// Spec-taking subcommands accept --passes=a,b,c to replace the default
+// SP-IR pipeline (normalize, strip-dead-options) and --dump-after=
+// <pass|all> to write after-<pass>.dot for the named pass(es). The
+// auto-group pass prices its fusions with the perf cost model at
+// --cores=N.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,8 +29,10 @@
 #include "apps/apps.hpp"
 #include "components/components.hpp"
 #include "hinch/runtime.hpp"
+#include "perf/fusion.hpp"
 #include "perf/predict.hpp"
 #include "sp/dot.hpp"
+#include "sp/pass.hpp"
 #include "sp/validate.hpp"
 #include "xspcl/codegen.hpp"
 #include "xspcl/loader.hpp"
@@ -32,8 +41,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: xspclc <validate|dot|taskdot|codegen|run|predict|emit-app> "
-               "...\n(see the header of tools/xspclc.cpp)\n");
+               "usage: xspclc <validate|dot|taskdot|codegen|run|predict|"
+               "emit-app|passes> ...\n(see the header of tools/xspclc.cpp)\n");
   return 2;
 }
 
@@ -47,6 +56,9 @@ struct Args {
   long long iterations = 32;
   bool emit_main = true;
   bool reconfigurable = false;
+  bool passes_given = false;
+  std::string passes;      // comma-separated, valid when passes_given
+  std::string dump_after;  // pass name or "all"
 };
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -69,6 +81,11 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->cores = std::atoi(v);
     } else if (const char* v = value("--iterations=")) {
       args->iterations = std::atoll(v);
+    } else if (const char* v = value("--passes=")) {
+      args->passes_given = true;
+      args->passes = v;
+    } else if (const char* v = value("--dump-after=")) {
+      args->dump_after = v;
     } else if (a == "--no-main") {
       args->emit_main = false;
     } else if (a == "--reconfigurable") {
@@ -100,9 +117,31 @@ int fail(const support::Status& status) {
   return 1;
 }
 
+int list_passes() {
+  std::printf("%-20s %-8s %s\n", "pass", "default", "description");
+  for (const sp::PassInfo& p : sp::registered_passes())
+    std::printf("%-20s %-8s %s\n", p.name.c_str(),
+                p.default_on ? "on" : "off", p.description.c_str());
+  return 0;
+}
+
+// Comma-separated pass list -> names ("" -> none).
+std::vector<std::string> split_passes(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start) out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "passes") == 0) return list_passes();
   Args args;
   if (!parse_args(argc, argv, &args)) return usage();
 
@@ -136,7 +175,57 @@ int main(int argc, char** argv) {
 
   auto graph = xspcl::load_file(args.input);
   if (!graph.is_ok()) return fail(graph.status());
-  const sp::Node& root = *graph.value();
+  sp::NodePtr owned = std::move(graph).take();
+
+  components::register_standard_globally();
+
+  // Assemble and run the SP-IR pipeline here (so --dump-after can
+  // observe every stage); Program::build below gets PassOptions::none()
+  // to avoid running it twice.
+  sp::PassManager pipeline;
+  if (!args.passes_given) {
+    pipeline = sp::make_pipeline(sp::PassOptions{});
+  } else {
+    for (const std::string& name : split_passes(args.passes)) {
+      sp::FusionAdvisor advisor;
+      if (name == "auto-group") {
+        perf::FusionModel model;
+        model.cores = std::max(1, args.cores);
+        auto adv = perf::make_fusion_advisor(
+            *owned, hinch::ComponentRegistry::global(), model);
+        if (!adv.is_ok()) return fail(adv.status());
+        advisor = std::move(adv).take();
+      }
+      auto pass = sp::pass_by_name(name, advisor);
+      if (!pass.is_ok()) return fail(pass.status());
+      pipeline.add(std::move(pass).value());
+    }
+  }
+  if (!args.dump_after.empty()) {
+    if (args.dump_after != "all") {
+      bool known = false;
+      for (const sp::PassInfo& p : sp::registered_passes())
+        if (p.name == args.dump_after) known = true;
+      if (!known)
+        return fail(support::not_found("--dump-after: no pass named '" +
+                                       args.dump_after + "'"));
+    }
+    pipeline.set_dump_hook([&args](const std::string& pass,
+                                   const sp::Node& g) {
+      if (args.dump_after != "all" && args.dump_after != pass) return;
+      std::string path = "after-" + pass + ".dot";
+      std::ofstream f(path);
+      f << sp::to_dot(g, args.name + ":" + pass);
+      if (!f)
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      else
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    });
+  }
+  auto transformed = pipeline.run(std::move(owned));
+  if (!transformed.is_ok()) return fail(transformed.status());
+  owned = std::move(transformed).take();
+  const sp::Node& root = *owned;
 
   if (args.command == "validate") {
     sp::GraphStats stats = sp::stats(root);
@@ -158,9 +247,10 @@ int main(int argc, char** argv) {
     return write_output(args, xspcl::generate_cpp(root, options));
   }
 
-  components::register_standard_globally();
-  auto prog =
-      hinch::Program::build(root, hinch::ComponentRegistry::global());
+  hinch::BuildConfig build_config;
+  build_config.passes = sp::PassOptions::none();  // pipeline already ran
+  auto prog = hinch::Program::build(root, hinch::ComponentRegistry::global(),
+                                    build_config);
   if (!prog.is_ok()) return fail(prog.status());
   hinch::RunConfig run;
   run.iterations = args.iterations;
