@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -22,6 +23,8 @@
 #include "components/clip_cache.hpp"
 #include "components/components.hpp"
 #include "hinch/runtime.hpp"
+#include "obs/chrome_export.hpp"
+#include "obs/trace.hpp"
 #include "xspcl/loader.hpp"
 
 namespace bench {
@@ -122,18 +125,41 @@ inline int sweep_threads() {
   return hc ? static_cast<int>(hc) : 1;
 }
 
+// A sweep point that throws (or leaves its slot empty any other way)
+// aborts the whole bench run after the pool drains, with the first error
+// reported. Silently assembling partial results would publish a
+// plausible-looking but incomplete BENCH_*.json / figure table.
 template <typename Fn>
 auto parallel_sweep(int n, Fn&& fn) -> std::vector<decltype(fn(int{}))> {
   using R = decltype(fn(int{}));
   std::vector<std::optional<R>> slots(static_cast<size_t>(n));
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::string first_error;
+  auto point = [&](int i) {
+    try {
+      slots[static_cast<size_t>(i)].emplace(fn(i));
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!failed.exchange(true))
+        first_error =
+            "point " + std::to_string(i) + " threw: " + e.what();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!failed.exchange(true))
+        first_error = "point " + std::to_string(i) +
+                      " threw a non-std::exception";
+    }
+  };
   const int workers = std::min(n, sweep_threads());
   if (workers <= 1) {
-    for (int i = 0; i < n; ++i) slots[static_cast<size_t>(i)].emplace(fn(i));
+    for (int i = 0; i < n && !failed.load(); ++i) point(i);
   } else {
     std::atomic<int> next{0};
     auto work = [&] {
-      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1))
-        slots[static_cast<size_t>(i)].emplace(fn(i));
+      for (int i = next.fetch_add(1); i < n && !failed.load();
+           i = next.fetch_add(1))
+        point(i);
     };
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(workers - 1));
@@ -141,9 +167,22 @@ auto parallel_sweep(int n, Fn&& fn) -> std::vector<decltype(fn(int{}))> {
     work();  // the calling thread is a worker too
     for (std::thread& t : pool) t.join();
   }
+  if (failed.load()) {
+    std::fprintf(stderr, "bench: parallel_sweep failed: %s\n",
+                 first_error.c_str());
+    std::abort();
+  }
   std::vector<R> out;
   out.reserve(static_cast<size_t>(n));
-  for (auto& s : slots) out.push_back(std::move(*s));
+  for (int i = 0; i < n; ++i) {
+    std::optional<R>& s = slots[static_cast<size_t>(i)];
+    if (!s.has_value()) {
+      std::fprintf(stderr,
+                   "bench: parallel_sweep point %d produced no result\n", i);
+      std::abort();
+    }
+    out.push_back(std::move(*s));
+  }
   return out;
 }
 
@@ -256,6 +295,49 @@ class BenchReport {
   std::string bench_;
   std::vector<BenchRow> rows_;
 };
+
+// --- optional event tracing (the figure benches' --trace flag) --------------
+//
+// `--trace` (default path) or `--trace=out.json`. Returns the output
+// path, empty when the flag is absent. The traced run happens *after*
+// the regular series and prints extra lines only under the flag, so the
+// untraced figure output stays byte-identical.
+inline std::string parse_trace_flag(int argc, char** argv,
+                                    const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--trace") return default_path;
+    if (a.rfind("--trace=", 0) == 0) return a.substr(8);
+  }
+  return std::string();
+}
+
+// Run one traced sim point of `spec` and write the Chrome trace-event
+// file to `path` (aborts on write failure — same loud-failure policy as
+// the sweeps).
+inline void write_sim_trace(const std::string& spec, int64_t iterations,
+                            int cores, const std::string& path,
+                            int window = 5) {
+  if (!obs::kTraceCompiledIn)
+    std::fprintf(stderr,
+                 "bench: built with HINCH_TRACING=OFF; the trace will "
+                 "contain no events\n");
+  auto prog = build_program(spec);
+  obs::TraceSession session;
+  hinch::RunConfig run;
+  run.iterations = iterations;
+  run.window = window;
+  hinch::SimParams sim;
+  sim.cores = cores;
+  sim.trace = &session;
+  hinch::SimResult r = hinch::run_on_sim(*prog, run, sim);
+  if (!obs::write_chrome_trace(session, path)) std::abort();
+  std::printf("trace: wrote %s (cores=%d cycles=%.1fM events=%llu "
+              "dropped=%llu)\n",
+              path.c_str(), cores, mcycles(r.total_cycles),
+              static_cast<unsigned long long>(session.emitted()),
+              static_cast<unsigned long long>(session.dropped()));
+}
 
 // End-of-main teardown: drop the process-wide clip caches so harnesses
 // that chain several paper-scale configurations (and leak checkers) see

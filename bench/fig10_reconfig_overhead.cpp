@@ -29,26 +29,51 @@ struct Series {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  std::string trace_path =
+      bench::parse_trace_flag(argc, argv, "fig10_trace.json");
+
   std::printf("Figure 10: reconfiguration overhead vs cores\n");
   std::printf("(reconfigurable runtime / mean of the two static variants)\n");
+  if (smoke) std::printf("(smoke mode: reduced PiP-only grid)\n");
 
   std::vector<SeriesDef> defs;
-  defs.push_back({"PiP-12",
-                  {apps::pip_xspcl(bench::paper_pip(1)),
-                   apps::pip_xspcl(bench::paper_pip(2)),
-                   apps::pip_xspcl(bench::paper_pip(2, true))},
-                  bench::paper_pip(1).frames});
-  defs.push_back({"JPiP-12",
-                  {apps::jpip_xspcl(bench::paper_jpip(1)),
-                   apps::jpip_xspcl(bench::paper_jpip(2)),
-                   apps::jpip_xspcl(bench::paper_jpip(2, true))},
-                  bench::paper_jpip(1).frames});
-  defs.push_back({"Blur-35",
-                  {apps::blur_xspcl(bench::paper_blur(3)),
-                   apps::blur_xspcl(bench::paper_blur(5)),
-                   apps::blur_xspcl(bench::paper_blur(3, true))},
-                  bench::paper_blur(3).frames});
+  if (smoke) {
+    // CI-scale grid: one series at a shrunken resolution, same shape.
+    auto small = [](int pips, bool reconfigurable = false) {
+      apps::PipConfig c = bench::paper_pip(pips, reconfigurable);
+      c.width = 360;
+      c.height = 288;
+      c.frames = 24;
+      c.slices = 4;
+      c.clip_frames = 4;
+      c.toggle_period = 6;
+      return c;
+    };
+    defs.push_back({"PiP-12",
+                    {apps::pip_xspcl(small(1)), apps::pip_xspcl(small(2)),
+                     apps::pip_xspcl(small(2, true))},
+                    small(1).frames});
+  } else {
+    defs.push_back({"PiP-12",
+                    {apps::pip_xspcl(bench::paper_pip(1)),
+                     apps::pip_xspcl(bench::paper_pip(2)),
+                     apps::pip_xspcl(bench::paper_pip(2, true))},
+                    bench::paper_pip(1).frames});
+    defs.push_back({"JPiP-12",
+                    {apps::jpip_xspcl(bench::paper_jpip(1)),
+                     apps::jpip_xspcl(bench::paper_jpip(2)),
+                     apps::jpip_xspcl(bench::paper_jpip(2, true))},
+                    bench::paper_jpip(1).frames});
+    defs.push_back({"Blur-35",
+                    {apps::blur_xspcl(bench::paper_blur(3)),
+                     apps::blur_xspcl(bench::paper_blur(5)),
+                     apps::blur_xspcl(bench::paper_blur(3, true))},
+                    bench::paper_blur(3).frames});
+  }
 
   const int per_series = kVariants * kMaxCores;
   std::vector<uint64_t> cycles = bench::parallel_sweep(
@@ -85,6 +110,14 @@ int main() {
   std::printf(
       "\nPaper shape: overhead stays below ~15%% and grows with the\n"
       "number of cores (quiescing serializes the application).\n");
+
+  if (!trace_path.empty()) {
+    // Trace the reconfigurable PiP variant on 4 cores: the exported JSON
+    // shows the quiesce/splice stall (a gap in every core's span row
+    // around each "reconfiguration" marker).
+    const SeriesDef& d = defs[0];
+    bench::write_sim_trace(d.specs[2], d.frames, /*cores=*/4, trace_path);
+  }
   bench::teardown();
   return 0;
 }

@@ -39,7 +39,9 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path =
+      bench::parse_trace_flag(argc, argv, "fig8_trace.json");
   std::printf("Figure 8: sequential overhead (cycles x 1e6, 1 core)\n");
   std::printf("%-10s %14s %14s %10s %16s\n", "app", "sequential", "xspcl",
               "overhead", "L2-miss ratio");
@@ -100,6 +102,13 @@ int main() {
   std::printf(
       "\nPaper shape: PiP ~5%% overhead, JPiP largest (~18%%, extra cache\n"
       "misses from de-fused kernels - see the miss ratio column), Blur ~0%%.\n");
+
+  if (!trace_path.empty()) {
+    // Figure 8 is the 1-core comparison: trace the XSPCL PiP-1 run.
+    apps::PipConfig c = bench::paper_pip(1);
+    bench::write_sim_trace(apps::pip_xspcl(c), c.frames, /*cores=*/1,
+                           trace_path);
+  }
   bench::teardown();
   return 0;
 }

@@ -31,7 +31,9 @@ struct Series {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path =
+      bench::parse_trace_flag(argc, argv, "fig9_trace.json");
   std::printf("Figure 9: speedup vs cores (relative to fastest sequential)\n");
 
   std::vector<SeriesDef> defs;
@@ -100,6 +102,14 @@ int main() {
   std::printf(
       "\nPaper shape: all scale well; Blur best (highest compute/comm\n"
       "ratio); JPiP lowest (sequential overhead carries over).\n");
+
+  if (!trace_path.empty()) {
+    // Trace the PiP-2 speedup point on 4 cores: per-core utilization in
+    // the trace matches the table's speedup for that row.
+    apps::PipConfig c = bench::paper_pip(2);
+    bench::write_sim_trace(apps::pip_xspcl(c), c.frames, /*cores=*/4,
+                           trace_path);
+  }
   bench::teardown();
   return 0;
 }

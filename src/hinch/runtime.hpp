@@ -16,6 +16,11 @@
 #include "hinch/stream.hpp"
 #include "hinch/thread_executor.hpp"
 
+namespace obs {
+class MetricsRegistry;
+class TraceSession;
+}
+
 namespace hinch {
 
 // Which executor carries out the run.
@@ -26,6 +31,9 @@ struct RunOptions {
   Backend backend = Backend::kSim;
   SimParams sim;    // used when backend == kSim
   int workers = 1;  // used when backend == kThreads
+  // Optional tracing session, honoured by both backends (overrides
+  // sim.trace for the sim backend). See docs/OBSERVABILITY.md.
+  obs::TraceSession* trace = nullptr;
 };
 
 // Unified result: virtual cycles for the sim backend, wall seconds for
@@ -39,5 +47,17 @@ struct RunResult {
 };
 
 RunResult run(Program& prog, const RunOptions& options);
+
+// Unified metrics collection: flatten an executor result into `out`
+// under dotted names — "sched.*" (scheduler counters), "sim.*" /
+// "threads.*" (executor-level), "mem.*" (cache model), "region.<label>.*"
+// (per-region memory stats), "task.<label>.*" (per-task profile, sim
+// only). One dump surface replaces the ad-hoc per-struct printing; see
+// docs/OBSERVABILITY.md. `prog` supplies task labels; it must be the
+// program that produced the result.
+void collect_metrics(const Program& prog, const SimResult& result,
+                     obs::MetricsRegistry* out);
+void collect_metrics(const Program& prog, const ThreadResult& result,
+                     obs::MetricsRegistry* out);
 
 }  // namespace hinch

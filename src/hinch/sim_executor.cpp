@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "hinch/region_table.hpp"
+#include "obs/trace.hpp"
 
 namespace hinch {
 namespace {
@@ -45,6 +46,24 @@ class SimRun {
       params_.dequeue_cycles = 0;
       params_.enqueue_cycles = 0;
     }
+    if (obs::kTraceCompiledIn && params.trace != nullptr) {
+      trace_ = params.trace;
+      trace_->begin_run(params.cores, obs::ClockDomain::kCycles);
+      task_names_.reserve(prog.tasks().size());
+      for (const Task& t : prog.tasks()) {
+        std::string label =
+            t.label.empty() ? "task" + std::to_string(t.id) : t.label;
+        task_names_.push_back(trace_->intern(label));
+      }
+      stream_names_.reserve(prog.streams().size());
+      for (const auto& s : prog.streams())
+        stream_names_.push_back(trace_->intern("stream " + s->name()));
+      admit_name_ = trace_->intern("admit");
+      reconfig_name_ = trace_->intern("reconfiguration");
+      queue_depth_name_ = trace_->intern("queue depth");
+      l1_miss_name_ = trace_->intern("cache L1 misses");
+      mem_fetch_name_ = trace_->intern("cache mem fetches");
+    }
   }
 
   SimResult run() {
@@ -62,6 +81,7 @@ class SimRun {
     result.jobs = jobs_;
     result.task_cycles = task_cycles_;
     result.task_runs = task_runs_;
+    result.regions = mem_->region_stats();
     return result;
   }
 
@@ -124,12 +144,44 @@ class SimRun {
     core_busy_[static_cast<size_t>(core)] += cost;
     task_cycles_[static_cast<size_t>(job.task)] += cost;
     ++task_runs_[static_cast<size_t>(job.task)];
+    if (trace_ != nullptr) {
+      obs::TraceRecorder* rec = trace_->recorder(core);
+      rec->span(task_names_[static_cast<size_t>(job.task)],
+                obs::Category::kTask, engine_.now(), cost, job.iter,
+                job.task);
+      // phase 1 = a reconfiguration splice executing on this core: the
+      // explicit marker fig10's trace validation looks for.
+      if (job.phase == 1)
+        rec->instant(reconfig_name_, obs::Category::kReconfig, engine_.now(),
+                     job.iter, job.task);
+      const sim::MemStats ms = mem_->stats();
+      rec->counter(l1_miss_name_, obs::Category::kCache, engine_.now(),
+                   static_cast<int64_t>(ms.accesses - ms.l1_hits));
+      rec->counter(mem_fetch_name_, obs::Category::kCache, engine_.now(),
+                   static_cast<int64_t>(ms.mem_fetches));
+      // Per-stream occupancy: slots of this stream holding data of
+      // iterations admitted but not yet retired.
+      int64_t inflight = job.iter + 1 - scheduler_.iterations_done();
+      for (const ExecContext::Touch& t : charges.touches) {
+        if (!t.write) continue;
+        rec->counter(stream_names_[static_cast<size_t>(t.stream_index)],
+                     obs::Category::kStream, engine_.now(), inflight);
+      }
+    }
     engine_.schedule_after(cost, [this, job, core] { end_job(job, core); });
   }
 
   void end_job(JobRef job, int core) {
     std::vector<JobRef> newly = scheduler_.complete(job);
     for (const JobRef& j : newly) queue_.push_back(j);
+    if (trace_ != nullptr) {
+      obs::TraceRecorder* rec = trace_->recorder(core);
+      for (const JobRef& j : newly)
+        rec->instant(admit_name_, obs::Category::kSched, engine_.now(),
+                     j.iter, j.task);
+      rec->counter(queue_depth_name_, obs::Category::kSched, engine_.now(),
+                   static_cast<int64_t>(queue_.size()));
+    }
     // The completing core enqueues its successors before going idle.
     sim::Cycles enqueue_cost =
         params_.enqueue_cycles * static_cast<sim::Cycles>(newly.size());
@@ -158,6 +210,15 @@ class SimRun {
   uint64_t jobs_ = 0;
   std::vector<sim::Cycles> task_cycles_;
   std::vector<uint64_t> task_runs_;
+
+  obs::TraceSession* trace_ = nullptr;  // nullptr when tracing is off
+  std::vector<uint16_t> task_names_;
+  std::vector<uint16_t> stream_names_;
+  uint16_t admit_name_ = 0;
+  uint16_t reconfig_name_ = 0;
+  uint16_t queue_depth_name_ = 0;
+  uint16_t l1_miss_name_ = 0;
+  uint16_t mem_fetch_name_ = 0;
 };
 
 }  // namespace

@@ -14,6 +14,10 @@
 #include "sim/cache.hpp"
 #include "sim/engine.hpp"
 
+namespace obs {
+class TraceSession;
+}
+
 namespace hinch {
 
 // Per-job simulated-cost charges of one run, keyed by (task, iteration).
@@ -45,6 +49,11 @@ struct SimParams {
   // set; both must outlive the run.
   ChargeTrace* record_trace = nullptr;
   const ChargeTrace* replay_trace = nullptr;
+  // Optional cycle-accurate event tracing (obs/trace.hpp): per-core task
+  // spans, admit/reconfig markers, queue/cache/stream counters, all
+  // stamped in simulated cycles. Emission never alters the simulation;
+  // cycle counts are identical with or without a session attached.
+  obs::TraceSession* trace = nullptr;
 };
 
 struct SimResult {
@@ -58,6 +67,9 @@ struct SimResult {
   // execution count — input for the perf prediction module.
   std::vector<sim::Cycles> task_cycles;
   std::vector<uint64_t> task_runs;
+  // Per-region memory statistics (streams and scratch), for the unified
+  // metrics dump (obs::MetricsRegistry via collect_metrics).
+  std::vector<sim::RegionStats> regions;
 
   double utilization() const {
     if (total_cycles == 0 || core_busy.empty()) return 0.0;

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hinch {
 namespace {
 
@@ -21,24 +23,42 @@ inline uint64_t splitmix64(uint64_t& state) {
 
 class ThreadRun {
   // One per worker, cache-line padded so deque locks and counters of
-  // neighbouring workers do not false-share.
+  // neighbouring workers do not false-share. The statistics counters are
+  // owner-written relaxed atomics: only the owning worker increments
+  // them, but a metrics/trace snapshot may read them while the run is
+  // still in flight, so plain uint64_t would be a torn/racy read.
   struct alignas(64) Worker {
     std::mutex mu;
     std::deque<JobRef> jobs;  // owner: push/pop back (LIFO); thief: front
     uint64_t rng = 0;
-    uint64_t executed = 0;
-    uint64_t steals = 0;
-    uint64_t parks = 0;
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> parks{0};
   };
 
  public:
   ThreadRun(Program& prog, const RunConfig& config)
       : prog_(prog), scheduler_(prog, config) {}
 
-  ThreadResult run(int workers) {
+  ThreadResult run(int workers, obs::TraceSession* trace) {
     SUP_CHECK(workers >= 1);
     workers_ = workers;
     auto t0 = std::chrono::steady_clock::now();
+    if (obs::kTraceCompiledIn && trace != nullptr) {
+      trace_ = trace;
+      trace_->begin_run(workers, obs::ClockDomain::kWallNanos);
+      task_names_.reserve(prog_.tasks().size());
+      for (const Task& t : prog_.tasks()) {
+        std::string label =
+            t.label.empty() ? "task" + std::to_string(t.id) : t.label;
+        task_names_.push_back(trace_->intern(label));
+      }
+      steal_name_ = trace_->intern("steal");
+      park_name_ = trace_->intern("park");
+      reconfig_name_ = trace_->intern("reconfiguration");
+      pending_name_ = trace_->intern("pending jobs");
+      trace_t0_ = t0;
+    }
 
     slots_ = std::vector<Worker>(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w) {
@@ -73,10 +93,11 @@ class ThreadRun {
     result.sched = scheduler_.stats();
     result.worker_jobs.reserve(slots_.size());
     for (const Worker& w : slots_) {
-      result.jobs += w.executed;
-      result.steals += w.steals;
-      result.idle_parks += w.parks;
-      result.worker_jobs.push_back(w.executed);
+      uint64_t executed = w.executed.load(std::memory_order_relaxed);
+      result.jobs += executed;
+      result.steals += w.steals.load(std::memory_order_relaxed);
+      result.idle_parks += w.parks.load(std::memory_order_relaxed);
+      result.worker_jobs.push_back(executed);
     }
     return result;
   }
@@ -111,18 +132,35 @@ class ThreadRun {
     // chain of a task across iterations) this touches neither the deque
     // nor the pending counter: the parent's "1 pending" simply transfers
     // to the child. Extra children are published for thieves.
+    obs::TraceRecorder* rec =
+        trace_ != nullptr ? trace_->recorder(id) : nullptr;
     for (;;) {
+      uint64_t t_start = rec != nullptr ? now_ns() : 0;
       ExecContext ctx(scheduler_.job_component(job), job.iter, id,
                       &prog_.queues());
       scheduler_.execute(job, ctx);
       std::vector<JobRef> newly = scheduler_.complete(job);
-      ++self.executed;
+      self.executed.fetch_add(1, std::memory_order_relaxed);
+      if (rec != nullptr) {
+        uint64_t t_end = now_ns();
+        rec->span(task_names_[static_cast<size_t>(job.task)],
+                  obs::Category::kTask, t_start, t_end - t_start, job.iter,
+                  job.task);
+        if (job.phase == 1)
+          rec->instant(reconfig_name_, obs::Category::kReconfig, t_end,
+                       job.iter, job.task);
+      }
       if (newly.empty()) break;
       if (newly.size() > 1) {
         // Count the extra children before continuing so `pending_` can
         // never dip to zero while work still exists.
-        pending_.fetch_add(static_cast<int64_t>(newly.size()) - 1,
-                           std::memory_order_relaxed);
+        int64_t now_pending =
+            pending_.fetch_add(static_cast<int64_t>(newly.size()) - 1,
+                               std::memory_order_relaxed) +
+            static_cast<int64_t>(newly.size()) - 1;
+        if (rec != nullptr)
+          rec->counter(pending_name_, obs::Category::kSched, now_ns(),
+                       now_pending);
         {
           std::lock_guard<std::mutex> lock(self.mu);
           for (size_t i = 1; i < newly.size(); ++i)
@@ -133,6 +171,9 @@ class ThreadRun {
       job = newly[0];
     }
     // The chain retires: drop its pending unit.
+    if (rec != nullptr)
+      rec->counter(pending_name_, obs::Category::kSched, now_ns(),
+                   pending_.load(std::memory_order_relaxed) - 1);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last job in the system: the run is over.
       {
@@ -170,18 +211,26 @@ class ThreadRun {
       if (!lock.owns_lock() || v.jobs.empty()) continue;
       *out = v.jobs.front();  // FIFO end: oldest, largest-grain work
       v.jobs.pop_front();
-      ++self.steals;
+      self.steals.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr)
+        trace_->recorder(id)->instant(steal_name_, obs::Category::kSched,
+                                      now_ns(), victim, out->task);
       return true;
     }
     return false;
   }
 
   void park(Worker& self) {
+    if (trace_ != nullptr) {
+      int id = static_cast<int>(&self - slots_.data());
+      trace_->recorder(id)->instant(park_name_, obs::Category::kSched,
+                                    now_ns(), 0, -1);
+    }
     std::unique_lock<std::mutex> lock(idle_mu_);
     if (done_.load(std::memory_order_relaxed)) return;
     uint64_t epoch = wake_epoch_;
     ++sleepers_;
-    ++self.parks;
+    self.parks.fetch_add(1, std::memory_order_relaxed);
     // Bounded wait: a producer that observed sleepers_ == 0 an instant
     // before we got here may skip its wakeup; the timeout turns that
     // lost-wakeup window into a short stall instead of a hang.
@@ -203,10 +252,25 @@ class ThreadRun {
       idle_cv_.notify_one();
   }
 
+  uint64_t now_ns() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - trace_t0_)
+            .count());
+  }
+
   Program& prog_;
   Scheduler scheduler_;
   int workers_ = 1;
   std::vector<Worker> slots_;
+
+  obs::TraceSession* trace_ = nullptr;  // nullptr when tracing is off
+  std::chrono::steady_clock::time_point trace_t0_{};
+  std::vector<uint16_t> task_names_;
+  uint16_t steal_name_ = 0;
+  uint16_t park_name_ = 0;
+  uint16_t reconfig_name_ = 0;
+  uint16_t pending_name_ = 0;
 
   // Jobs enqueued or running. 0 <=> the run is complete (children are
   // counted before their parent retires).
@@ -223,9 +287,9 @@ class ThreadRun {
 }  // namespace
 
 ThreadResult run_on_threads(Program& prog, const RunConfig& config,
-                            int workers) {
+                            int workers, obs::TraceSession* trace) {
   ThreadRun run(prog, config);
-  return run.run(workers);
+  return run.run(workers, trace);
 }
 
 }  // namespace hinch

@@ -19,6 +19,10 @@
 
 #include "hinch/scheduler.hpp"
 
+namespace obs {
+class TraceSession;
+}
+
 namespace hinch {
 
 struct ThreadResult {
@@ -31,8 +35,11 @@ struct ThreadResult {
   std::vector<uint64_t> worker_jobs;  // jobs executed per worker
 };
 
-// Runs all iterations with `workers` threads (>= 1).
+// Runs all iterations with `workers` threads (>= 1). When `trace` is
+// non-null (and tracing is compiled in), each worker records job spans,
+// steal/park markers and a pending-jobs counter into its own lane,
+// stamped in wall-clock nanoseconds since run start (obs/trace.hpp).
 ThreadResult run_on_threads(Program& prog, const RunConfig& config,
-                            int workers);
+                            int workers, obs::TraceSession* trace = nullptr);
 
 }  // namespace hinch

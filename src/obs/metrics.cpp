@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace obs {
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+void append_value(std::string* out, bool is_double, int64_t i, double d) {
+  char buf[48];
+  if (is_double)
+    std::snprintf(buf, sizeof(buf), "%.6g", d);
+  else
+    std::snprintf(buf, sizeof(buf), "%" PRId64, i);
+  *out += buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::set(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_[name] = Metric{false, value, 0};
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_[name] = Metric{true, 0, value};
+}
+
+void MetricsRegistry::add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metric& m = metrics_[name];
+  m.i += delta;
+}
+
+int64_t MetricsRegistry::get_int(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0;
+  return it->second.is_double ? static_cast<int64_t>(it->second.d)
+                              : it->second.i;
+}
+
+double MetricsRegistry::get_double(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0;
+  return it->second.is_double ? it->second.d
+                              : static_cast<double>(it->second.i);
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.count(name) != 0;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.clear();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, m] : metrics_) {
+    out += name;
+    out += ' ';
+    append_value(&out, m.is_double, m.i, m.d);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"";
+    append_escaped(&out, name);
+    out += "\": ";
+    append_value(&out, m.is_double, m.i, m.d);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace obs

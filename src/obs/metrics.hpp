@@ -1,0 +1,53 @@
+// MetricsRegistry: one named-counter surface for every runtime
+// observable the figure benches and tools read — scheduler stats,
+// executor stats, cache/memory stats, per-region breakdowns, per-task
+// profiles. Each producer keeps its own native struct (SchedulerStats,
+// sim::MemStats, ...); collect_metrics overloads (hinch/runtime.hpp)
+// flatten them into the registry under dotted names, and a single
+// deterministic text or JSON dump replaces the three ad-hoc printing
+// paths that existed before (see docs/OBSERVABILITY.md).
+//
+// Thread-safety: every method takes the registry mutex, so a snapshot
+// or dump taken while another thread is still filling counters is
+// tear-free (it may interleave between two set() calls, which is the
+// documented snapshot semantics — same as Scheduler::stats()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace obs {
+
+class MetricsRegistry {
+ public:
+  void set(const std::string& name, int64_t value);
+  void set(const std::string& name, double value);
+  void add(const std::string& name, int64_t delta);
+
+  // Value lookups (0 when absent). has() distinguishes absent from 0.
+  int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  size_t size() const;
+  void clear();
+
+  // "name value\n" lines, sorted by name; doubles print with %.6g.
+  std::string to_text() const;
+  // One flat JSON object, keys sorted.
+  std::string to_json() const;
+
+ private:
+  struct Metric {
+    bool is_double = false;
+    int64_t i = 0;
+    double d = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace obs

@@ -1,0 +1,326 @@
+#include "support/json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace support::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+std::string Value::string_or(std::string_view key,
+                             std::string fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->str() : fallback;
+}
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+Value Value::make_number(double d) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+Value Value::make_array(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+Value Value::make_object(std::vector<std::pair<std::string, Value>> m) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(m);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  support::Result<Value> run() {
+    skip_ws();
+    Value v;
+    SUP_RETURN_IF_ERROR(parse_value(&v));
+    skip_ws();
+    if (pos_ != text_.size())
+      return error("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  support::Status error(const std::string& what) const {
+    return support::invalid_argument("json: " + what + " at byte " +
+                                     std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  support::Status parse_value(Value* out) {
+    if (depth_ > 200) return error("nesting too deep");
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"': {
+        std::string s;
+        SUP_RETURN_IF_ERROR(parse_string(&s));
+        *out = Value::make_string(std::move(s));
+        return support::Status::ok();
+      }
+      case 't':
+        if (consume_word("true")) {
+          *out = Value::make_bool(true);
+          return support::Status::ok();
+        }
+        return error("invalid literal");
+      case 'f':
+        if (consume_word("false")) {
+          *out = Value::make_bool(false);
+          return support::Status::ok();
+        }
+        return error("invalid literal");
+      case 'n':
+        if (consume_word("null")) {
+          *out = Value::make_null();
+          return support::Status::ok();
+        }
+        return error("invalid literal");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  support::Status parse_object(Value* out) {
+    ++depth_;
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, Value>> members;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      *out = Value::make_object(std::move(members));
+      return support::Status::ok();
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return error("expected object key string");
+      std::string key;
+      SUP_RETURN_IF_ERROR(parse_string(&key));
+      skip_ws();
+      if (!consume(':')) return error("expected ':' after object key");
+      skip_ws();
+      Value v;
+      SUP_RETURN_IF_ERROR(parse_value(&v));
+      members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return error("expected ',' or '}' in object");
+    }
+    --depth_;
+    *out = Value::make_object(std::move(members));
+    return support::Status::ok();
+  }
+
+  support::Status parse_array(Value* out) {
+    ++depth_;
+    ++pos_;  // '['
+    std::vector<Value> items;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      *out = Value::make_array(std::move(items));
+      return support::Status::ok();
+    }
+    for (;;) {
+      skip_ws();
+      Value v;
+      SUP_RETURN_IF_ERROR(parse_value(&v));
+      items.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return error("expected ',' or ']' in array");
+    }
+    --depth_;
+    *out = Value::make_array(std::move(items));
+    return support::Status::ok();
+  }
+
+  support::Status parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return support::Status::ok();
+      if (static_cast<unsigned char>(c) < 0x20)
+        return error("unescaped control character in string");
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += e;
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size())
+            return error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              return error("invalid \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are passed through as two
+          // 3-byte sequences — fine for the tooling use case).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return error("invalid escape character");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  support::Status parse_number(Value* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      digits = true;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        digits = true;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      bool exp_digits = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return error("invalid number exponent");
+    }
+    if (!digits) return error("invalid number");
+    std::string token(text_.substr(start, pos_ - start));
+    *out = Value::make_number(std::strtod(token.c_str(), nullptr));
+    return support::Status::ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+support::Result<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+support::Result<Value> parse_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return support::io_error("json: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace support::json

@@ -1,0 +1,71 @@
+// Minimal JSON parser for tooling: hinchtrace loads Chrome trace-event
+// files with it, and the trace tests use it as an independent
+// well-formedness check of the exporter's output. It parses the full
+// JSON grammar (objects, arrays, strings with escapes, numbers, bools,
+// null) into a simple tagged value tree; it is not a streaming parser
+// and is not meant for multi-gigabyte inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace support::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  int64_t number_int() const { return static_cast<int64_t>(number_); }
+  const std::string& str() const { return string_; }
+  const std::vector<Value>& array() const { return array_; }
+  // Insertion-ordered key/value pairs.
+  const std::vector<std::pair<std::string, Value>>& object() const {
+    return object_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  // Typed member conveniences (fallbacks when absent / wrong type).
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double d);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::vector<std::pair<std::string, Value>> m);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+// Parse a complete JSON document (leading/trailing whitespace allowed;
+// anything after the document is an error). Errors carry a byte offset.
+support::Result<Value> parse(std::string_view text);
+
+// Read `path` and parse it.
+support::Result<Value> parse_file(const std::string& path);
+
+}  // namespace support::json

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 #include "support/strings.hpp"
@@ -153,6 +154,76 @@ TEST(Rng, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+// --- support::json ----------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(support::json::parse("null").value().is_null());
+  EXPECT_TRUE(support::json::parse("true").value().boolean());
+  EXPECT_FALSE(support::json::parse("false").value().boolean());
+  EXPECT_DOUBLE_EQ(support::json::parse("-12.5e2").value().number(),
+                   -1250.0);
+  EXPECT_EQ(support::json::parse("42").value().number_int(), 42);
+  EXPECT_EQ(support::json::parse("\"hi\"").value().str(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto parsed = support::json::parse(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": false})");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const support::json::Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const support::json::Value* a = root.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[0].number_int(), 1);
+  EXPECT_EQ(a->array()[2].string_or("b", ""), "x");
+  ASSERT_NE(root.find("c"), nullptr);
+  EXPECT_TRUE(root.find("c")->find("d")->is_null());
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(Json, DecodesStringEscapes) {
+  auto parsed =
+      support::json::parse(R"("a\"b\\c\nd\teAé")");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().str(), "a\"b\\c\nd\teA\xC3\xA9");
+}
+
+TEST(Json, PreservesObjectOrderAndDuplicates) {
+  auto parsed = support::json::parse(R"({"z": 1, "a": 2})");
+  ASSERT_TRUE(parsed.is_ok());
+  const auto& members = parsed.value().object();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(support::json::parse("").is_ok());
+  EXPECT_FALSE(support::json::parse("{").is_ok());
+  EXPECT_FALSE(support::json::parse("[1,]").is_ok());
+  EXPECT_FALSE(support::json::parse("{\"a\" 1}").is_ok());
+  EXPECT_FALSE(support::json::parse("nul").is_ok());
+  EXPECT_FALSE(support::json::parse("1 2").is_ok());
+  EXPECT_FALSE(support::json::parse("\"unterminated").is_ok());
+  EXPECT_FALSE(support::json::parse("\"bad\\q\"").is_ok());
+  // Errors carry a byte offset.
+  EXPECT_NE(support::json::parse("[1,]").status().message().find("byte"),
+            std::string::npos);
+}
+
+TEST(Json, NumberOrAndStringOrFallbacks) {
+  auto parsed = support::json::parse(R"({"n": 3, "s": "v"})");
+  ASSERT_TRUE(parsed.is_ok());
+  const support::json::Value& root = parsed.value();
+  EXPECT_DOUBLE_EQ(root.number_or("n", -1), 3);
+  EXPECT_DOUBLE_EQ(root.number_or("s", -1), -1);  // wrong type
+  EXPECT_EQ(root.string_or("s", "d"), "v");
+  EXPECT_EQ(root.string_or("n", "d"), "d");  // wrong type
+  EXPECT_EQ(root.string_or("missing", "d"), "d");
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "components/components.hpp"
 #include "hinch/region_table.hpp"
 #include "hinch/runtime.hpp"
+#include "obs/trace.hpp"
 #include "xspcl/loader.hpp"
 
 namespace {
@@ -251,6 +252,34 @@ TEST_F(ThreadStressTest, RepeatedRunsStayConsistent) {
               per_iter * kIters + r.sched.reconfigurations)
         << "round " << round;
     EXPECT_EQ(board().of("c0"), kIters) << "round " << round;
+    board().clear();
+  }
+}
+
+TEST_F(ThreadStressTest, TracingEnabledStaysRaceFreeAndConsistent) {
+  // Same hammer with a TraceSession attached: every worker emits spans,
+  // steal/park markers and counters into its own recorder lane, and the
+  // small ring (4096/lane) forces constant wraparound. Under TSan this
+  // is the designated workload for the tracing paths.
+  constexpr int kTasks = 8;
+  constexpr int64_t kIters = 120;
+  auto prog = build(stress_spec(kTasks, "11:flip;51:flip;91:flip", false));
+  ASSERT_TRUE(prog);
+  obs::TraceSession session(1 << 12);
+  const uint64_t per_iter = static_cast<uint64_t>(kTasks) + 4;
+  for (int round = 0; round < 3; ++round) {
+    RunConfig run;
+    run.iterations = kIters;
+    run.window = 5;
+    ThreadResult r = hinch::run_on_threads(*prog, run, 8, &session);
+    EXPECT_EQ(r.sched.reconfigurations, 3u) << "round " << round;
+    EXPECT_EQ(r.sched.jobs_executed + r.sched.jobs_skipped,
+              per_iter * kIters + r.sched.reconfigurations)
+        << "round " << round;
+    if (obs::kTraceCompiledIn) {
+      // One span per executed job; emitted also counts markers/counters.
+      EXPECT_GE(session.emitted(), r.jobs) << "round " << round;
+    }
     board().clear();
   }
 }

@@ -10,6 +10,9 @@
 //                                         emit C++ glue code
 //   xspclc run      <spec.xml> [--backend=sim|threads] [--cores=N]
 //                   [--iterations=N]      load and execute directly
+//                   [--trace=out.json]    write a Chrome trace-event file
+//                                         (load in Perfetto / about:tracing)
+//                   [--metrics]           dump the unified metrics registry
 //   xspclc predict  <spec.xml> [--cores=N] [--iterations=N]
 //                                         profile 1 core, predict speedup
 //   xspclc emit-app <pip|jpip|blur> [--reconfigurable] [-o f]
@@ -24,11 +27,15 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "apps/apps.hpp"
 #include "components/components.hpp"
 #include "hinch/runtime.hpp"
+#include "obs/chrome_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/fusion.hpp"
 #include "perf/predict.hpp"
 #include "sp/dot.hpp"
@@ -59,6 +66,8 @@ struct Args {
   bool passes_given = false;
   std::string passes;      // comma-separated, valid when passes_given
   std::string dump_after;  // pass name or "all"
+  std::string trace_out;   // Chrome trace-event output path
+  bool metrics = false;
 };
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -86,6 +95,10 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->passes = v;
     } else if (const char* v = value("--dump-after=")) {
       args->dump_after = v;
+    } else if (const char* v = value("--trace=")) {
+      args->trace_out = v;
+    } else if (a == "--metrics") {
+      args->metrics = true;
     } else if (a == "--no-main") {
       args->emit_main = false;
     } else if (a == "--reconfigurable") {
@@ -259,16 +272,27 @@ int main(int argc, char** argv) {
     return write_output(args, prog.value()->task_graph_dot(args.name));
   }
   if (args.command == "run") {
+    std::unique_ptr<obs::TraceSession> trace;
+    if (!args.trace_out.empty()) {
+      if (!obs::kTraceCompiledIn)
+        std::fprintf(stderr,
+                     "warning: built with HINCH_TRACING=OFF; the trace "
+                     "will contain no events\n");
+      trace = std::make_unique<obs::TraceSession>();
+    }
+    obs::MetricsRegistry metrics;
     if (args.backend == "threads") {
       hinch::ThreadResult r =
-          hinch::run_on_threads(*prog.value(), run, args.cores);
+          hinch::run_on_threads(*prog.value(), run, args.cores, trace.get());
       std::printf("backend=threads workers=%d iterations=%lld "
                   "wall_seconds=%.6f jobs=%llu\n",
                   args.cores, args.iterations, r.wall_seconds,
                   static_cast<unsigned long long>(r.jobs));
+      if (args.metrics) hinch::collect_metrics(*prog.value(), r, &metrics);
     } else {
       hinch::SimParams sim;
       sim.cores = args.cores;
+      sim.trace = trace.get();
       hinch::SimResult r = hinch::run_on_sim(*prog.value(), run, sim);
       std::printf(
           "backend=sim cores=%d iterations=%lld cycles=%llu jobs=%llu "
@@ -277,7 +301,12 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.total_cycles),
           static_cast<unsigned long long>(r.jobs), r.mem.l1_hit_rate(),
           static_cast<unsigned long long>(r.sched.reconfigurations));
+      if (args.metrics) hinch::collect_metrics(*prog.value(), r, &metrics);
     }
+    if (args.metrics) std::fputs(metrics.to_text().c_str(), stdout);
+    if (trace != nullptr &&
+        !obs::write_chrome_trace(*trace, args.trace_out))
+      return 1;
     return 0;
   }
   if (args.command == "predict") {
