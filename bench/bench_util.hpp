@@ -25,6 +25,7 @@
 #include "hinch/runtime.hpp"
 #include "obs/chrome_export.hpp"
 #include "obs/trace.hpp"
+#include "support/strings.hpp"
 #include "xspcl/loader.hpp"
 
 namespace bench {
@@ -273,18 +274,23 @@ class BenchReport {
                    path.c_str());
       std::abort();
     }
+    // Numbers are formatted via support::format_double, not fprintf("%f"):
+    // printf honours LC_NUMERIC, and a decimal-comma locale would emit
+    // invalid JSON (see docs/OBSERVABILITY.md, number formatting).
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
     std::fprintf(f, "  \"clock\": \"host_wall_clock\",\n");
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const BenchRow& r = rows_[i];
       std::fprintf(f,
-                   "    {\"name\": \"%s\", \"baseline_ms\": %.4f, "
-                   "\"optimized_ms\": %.4f, \"speedup\": %.3f, "
+                   "    {\"name\": \"%s\", \"baseline_ms\": %s, "
+                   "\"optimized_ms\": %s, \"speedup\": %s, "
                    "\"unit\": \"%s\"}%s\n",
-                   r.name.c_str(), r.baseline_ms, r.optimized_ms,
-                   r.speedup(), r.unit.c_str(),
-                   i + 1 < rows_.size() ? "," : "");
+                   r.name.c_str(),
+                   support::format_double(r.baseline_ms).c_str(),
+                   support::format_double(r.optimized_ms).c_str(),
+                   support::format_double(r.speedup()).c_str(),
+                   r.unit.c_str(), i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

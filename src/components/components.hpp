@@ -42,6 +42,17 @@
 //   event_ticker   (no ports)      Sends `event` to `queue` every
 //                                  `period` iterations (user-interaction
 //                                  stand-in driving reconfiguration).
+//   policy         (no ports)      Polls the run's live metrics and
+//                                  sends manager events on threshold
+//                                  crossings with hysteresis. params:
+//                                  queue, rules ("metric:high:low:
+//                                  on_high:on_low;..."), period, hold.
+//                                  See docs/OBSERVABILITY.md.
+//   var_load       (no ports)      Charges `cycles` of compute per
+//                                  iteration, stepping to `step_cycles`
+//                                  at `step_at` (back at `restore_at`) —
+//                                  the load step the adaptation bench
+//                                  and policy tests drive.
 #pragma once
 
 #include "hinch/registry.hpp"

@@ -13,6 +13,7 @@ void register_filters(hinch::ComponentRegistry& registry);
 void register_jpeg_stages(hinch::ComponentRegistry& registry);
 void register_sinks(hinch::ComponentRegistry& registry);
 void register_events(hinch::ComponentRegistry& registry);
+void register_adaptive(hinch::ComponentRegistry& registry);
 
 support::Result<media::PixelFormat> parse_format(const std::string& s);
 

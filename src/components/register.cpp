@@ -12,6 +12,7 @@ void register_standard(hinch::ComponentRegistry& registry) {
   register_jpeg_stages(registry);
   register_sinks(registry);
   register_events(registry);
+  register_adaptive(registry);
 }
 
 void register_standard_globally() {

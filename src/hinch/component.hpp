@@ -17,6 +17,10 @@
 #include "hinch/stream.hpp"
 #include "support/status.hpp"
 
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace hinch {
 
 class ExecContext;
@@ -110,12 +114,23 @@ void slice_rows(int rows, int index, int count, int* row0, int* row1);
 class ExecContext {
  public:
   ExecContext(Component* comp, int64_t iteration, int core,
-              EventQueueRegistry* queues)
-      : comp_(comp), iteration_(iteration), core_(core), queues_(queues) {}
+              EventQueueRegistry* queues,
+              obs::MetricsRegistry* metrics = nullptr)
+      : comp_(comp),
+        iteration_(iteration),
+        core_(core),
+        queues_(queues),
+        metrics_(metrics) {}
 
   int64_t iteration() const { return iteration_; }
   int core() const { return core_; }
   Component& component() { return *comp_; }
+
+  // Live metrics registry of the run, when the executor was handed one
+  // (SimParams::metrics / run_on_threads); nullptr otherwise. Components
+  // that adapt on runtime state (the policy component) poll it through
+  // MetricsRegistry::snapshot() — reads never block the run.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   // Switch the context to the next component of a grouped task; stream
   // i/o resolves against the new component's ports, charges keep
@@ -167,6 +182,7 @@ class ExecContext {
   int64_t iteration_;
   int core_;
   EventQueueRegistry* queues_;
+  obs::MetricsRegistry* metrics_;
   Charges charges_;
 };
 

@@ -42,6 +42,7 @@ RunResult run(Program& prog, const RunOptions& options) {
     case Backend::kSim: {
       SimParams sim_params = options.sim;
       if (options.trace != nullptr) sim_params.trace = options.trace;
+      if (options.metrics != nullptr) sim_params.metrics = options.metrics;
       SimResult r = run_on_sim(prog, options.run, sim_params);
       result.cycles = r.total_cycles;
       result.sched = r.sched;
@@ -49,8 +50,8 @@ RunResult run(Program& prog, const RunOptions& options) {
       break;
     }
     case Backend::kThreads: {
-      ThreadResult r =
-          run_on_threads(prog, options.run, options.workers, options.trace);
+      ThreadResult r = run_on_threads(prog, options.run, options.workers,
+                                      options.trace, options.metrics);
       result.wall_seconds = r.wall_seconds;
       result.sched = r.sched;
       break;

@@ -34,6 +34,11 @@ struct RunOptions {
   // Optional tracing session, honoured by both backends (overrides
   // sim.trace for the sim backend). See docs/OBSERVABILITY.md.
   obs::TraceSession* trace = nullptr;
+  // Optional live metrics registry, honoured by both backends (overrides
+  // sim.metrics for the sim backend): the executor refreshes "live.*"
+  // gauges as jobs retire, and components may poll them mid-run via
+  // ExecContext::metrics(). See docs/OBSERVABILITY.md.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Unified result: virtual cycles for the sim backend, wall seconds for

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "hinch/region_table.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace hinch {
@@ -64,6 +65,15 @@ class SimRun {
       l1_miss_name_ = trace_->intern("cache L1 misses");
       mem_fetch_name_ = trace_->intern("cache mem fetches");
     }
+    if (params.metrics != nullptr) {
+      metrics_ = params.metrics;
+      // Pre-build the dotted names once so in-run publication is a map
+      // lookup plus an uncontended mutex, not per-job string assembly.
+      live_stream_keys_.reserve(prog.streams().size());
+      for (const auto& s : prog.streams())
+        live_stream_keys_.push_back("live.stream." + s->name() +
+                                    ".occupancy");
+    }
   }
 
   SimResult run() {
@@ -113,7 +123,7 @@ class SimRun {
 
   void start_job(JobRef job, int core) {
     ExecContext ctx(scheduler_.job_component(job), job.iter, core,
-                    &prog_.queues());
+                    &prog_.queues(), metrics_);
     const ExecContext::Charges* charged = &ctx.charges();
     if (params_.replay_trace != nullptr) {
       auto it = params_.replay_trace->jobs.find(trace_key(job));
@@ -168,6 +178,14 @@ class SimRun {
                      obs::Category::kStream, engine_.now(), inflight);
       }
     }
+    if (metrics_ != nullptr) {
+      int64_t inflight = job.iter + 1 - scheduler_.iterations_done();
+      for (const ExecContext::Touch& t : charges.touches) {
+        if (!t.write) continue;
+        metrics_->set(live_stream_keys_[static_cast<size_t>(t.stream_index)],
+                      inflight);
+      }
+    }
     engine_.schedule_after(cost, [this, job, core] { end_job(job, core); });
   }
 
@@ -182,6 +200,7 @@ class SimRun {
       rec->counter(queue_depth_name_, obs::Category::kSched, engine_.now(),
                    static_cast<int64_t>(queue_.size()));
     }
+    if (metrics_ != nullptr) publish_live();
     // The completing core enqueues its successors before going idle.
     sim::Cycles enqueue_cost =
         params_.enqueue_cycles * static_cast<sim::Cycles>(newly.size());
@@ -192,6 +211,34 @@ class SimRun {
     });
     // Jobs may be dispatchable on other idle cores right away.
     dispatch();
+  }
+
+  // Refresh the "live.*" gauges after a job retires. Pure observation:
+  // publication touches only the registry, never the cost model, so
+  // cycle counts are identical with and without a registry attached.
+  void publish_live() {
+    metrics_->set("live.cycles", static_cast<int64_t>(engine_.now()));
+    metrics_->set("live.jobs", static_cast<int64_t>(jobs_));
+    metrics_->set("live.queue_depth", static_cast<int64_t>(queue_.size()));
+    int64_t iters = scheduler_.iterations_done();
+    metrics_->set("live.iterations_done", iters);
+    if (iters > live_last_iters_) {
+      // Throughput over the iterations retired since the last boundary —
+      // the signal the policy component watches for load steps.
+      double per_iter =
+          static_cast<double>(engine_.now() - live_last_boundary_) /
+          static_cast<double>(iters - live_last_iters_);
+      metrics_->set("live.cycles_per_iter", per_iter);
+      live_last_iters_ = iters;
+      live_last_boundary_ = engine_.now();
+    }
+    const sim::MemStats ms = mem_->stats();
+    metrics_->set("live.mem_fetches", static_cast<int64_t>(ms.mem_fetches));
+    if (ms.accesses > 0) {
+      metrics_->set("live.l1_miss_rate",
+                    static_cast<double>(ms.accesses - ms.l1_hits) /
+                        static_cast<double>(ms.accesses));
+    }
   }
 
   Program& prog_;
@@ -210,6 +257,11 @@ class SimRun {
   uint64_t jobs_ = 0;
   std::vector<sim::Cycles> task_cycles_;
   std::vector<uint64_t> task_runs_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;  // nullptr: no live publication
+  std::vector<std::string> live_stream_keys_;
+  int64_t live_last_iters_ = 0;
+  sim::Cycles live_last_boundary_ = 0;
 
   obs::TraceSession* trace_ = nullptr;  // nullptr when tracing is off
   std::vector<uint16_t> task_names_;

@@ -15,6 +15,7 @@
 #include "sim/engine.hpp"
 
 namespace obs {
+class MetricsRegistry;
 class TraceSession;
 }
 
@@ -54,6 +55,13 @@ struct SimParams {
   // stamped in simulated cycles. Emission never alters the simulation;
   // cycle counts are identical with or without a session attached.
   obs::TraceSession* trace = nullptr;
+  // Optional live metrics publication (obs/metrics.hpp): the executor
+  // refreshes "live.*" gauges (queue depth, cycles per iteration, L1
+  // miss rate, per-stream occupancy, ...) as jobs retire, without
+  // stopping the run. Policy components poll these through
+  // ExecContext::metrics() to drive reconfiguration; publication is
+  // pure observation and never alters cycle counts.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SimResult {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace hinch {
@@ -40,9 +41,11 @@ class ThreadRun {
   ThreadRun(Program& prog, const RunConfig& config)
       : prog_(prog), scheduler_(prog, config) {}
 
-  ThreadResult run(int workers, obs::TraceSession* trace) {
+  ThreadResult run(int workers, obs::TraceSession* trace,
+                   obs::MetricsRegistry* metrics) {
     SUP_CHECK(workers >= 1);
     workers_ = workers;
+    metrics_ = metrics;
     auto t0 = std::chrono::steady_clock::now();
     if (obs::kTraceCompiledIn && trace != nullptr) {
       trace_ = trace;
@@ -137,7 +140,7 @@ class ThreadRun {
     for (;;) {
       uint64_t t_start = rec != nullptr ? now_ns() : 0;
       ExecContext ctx(scheduler_.job_component(job), job.iter, id,
-                      &prog_.queues());
+                      &prog_.queues(), metrics_);
       scheduler_.execute(job, ctx);
       std::vector<JobRef> newly = scheduler_.complete(job);
       self.executed.fetch_add(1, std::memory_order_relaxed);
@@ -161,6 +164,7 @@ class ThreadRun {
         if (rec != nullptr)
           rec->counter(pending_name_, obs::Category::kSched, now_ns(),
                        now_pending);
+        if (metrics_ != nullptr) publish_live(now_pending);
         {
           std::lock_guard<std::mutex> lock(self.mu);
           for (size_t i = 1; i < newly.size(); ++i)
@@ -174,6 +178,8 @@ class ThreadRun {
     if (rec != nullptr)
       rec->counter(pending_name_, obs::Category::kSched, now_ns(),
                    pending_.load(std::memory_order_relaxed) - 1);
+    if (metrics_ != nullptr)
+      publish_live(pending_.load(std::memory_order_relaxed) - 1);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last job in the system: the run is over.
       {
@@ -252,6 +258,16 @@ class ThreadRun {
       idle_cv_.notify_one();
   }
 
+  // Refresh "live.*" gauges at the points the pending counter already
+  // changes (chain fan-out and chain retire). Workers race on the same
+  // names; the registry's internal lock makes each write atomic, and the
+  // gauges are approximations by design — the policy reads a consistent
+  // snapshot, not an exact instant.
+  void publish_live(int64_t pending_now) {
+    metrics_->set("live.pending_jobs", pending_now);
+    metrics_->set("live.iterations_done", scheduler_.iterations_done());
+  }
+
   uint64_t now_ns() const {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -264,6 +280,7 @@ class ThreadRun {
   int workers_ = 1;
   std::vector<Worker> slots_;
 
+  obs::MetricsRegistry* metrics_ = nullptr;  // nullptr: no live publication
   obs::TraceSession* trace_ = nullptr;  // nullptr when tracing is off
   std::chrono::steady_clock::time_point trace_t0_{};
   std::vector<uint16_t> task_names_;
@@ -287,9 +304,10 @@ class ThreadRun {
 }  // namespace
 
 ThreadResult run_on_threads(Program& prog, const RunConfig& config,
-                            int workers, obs::TraceSession* trace) {
+                            int workers, obs::TraceSession* trace,
+                            obs::MetricsRegistry* metrics) {
   ThreadRun run(prog, config);
-  return run.run(workers, trace);
+  return run.run(workers, trace, metrics);
 }
 
 }  // namespace hinch

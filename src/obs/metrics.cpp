@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "support/strings.hpp"
+
 namespace obs {
 namespace {
 
@@ -22,47 +24,78 @@ void append_escaped(std::string* out, const std::string& s) {
   }
 }
 
-void append_value(std::string* out, bool is_double, int64_t i, double d) {
-  char buf[48];
-  if (is_double)
-    std::snprintf(buf, sizeof(buf), "%.6g", d);
-  else
-    std::snprintf(buf, sizeof(buf), "%" PRId64, i);
-  *out += buf;
+void append_value(std::string* out, const MetricValue& m) {
+  if (m.is_double) {
+    support::append_double(out, m.d);
+  } else {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, m.i);
+    *out += buf;
+  }
 }
 
 }  // namespace
 
+int64_t MetricsRegistry::Snapshot::get_int(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second.as_int();
+}
+
+double MetricsRegistry::Snapshot::get_double(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second.as_double();
+}
+
+bool MetricsRegistry::Snapshot::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
 void MetricsRegistry::set(const std::string& name, int64_t value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  metrics_[name] = Metric{false, value, 0};
+  metrics_[name] = MetricValue{false, value, 0};
 }
 
 void MetricsRegistry::set(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  metrics_[name] = Metric{true, 0, value};
+  metrics_[name] = MetricValue{true, 0, value};
 }
 
 void MetricsRegistry::add(const std::string& name, int64_t delta) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Metric& m = metrics_[name];
-  m.i += delta;
+  MetricValue& m = metrics_[name];
+  // Accumulate into the active representation: a metric set() as a
+  // double keeps its double identity (the old code updated m.i here,
+  // which to_text/to_json/get_int never read while is_double was set —
+  // the delta silently vanished).
+  if (m.is_double)
+    m.d += static_cast<double>(delta);
+  else
+    m.i += delta;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricValue& m = metrics_[name];
+  if (!m.is_double) {
+    // Promote: an int-typed metric receiving a fractional delta becomes
+    // a double gauge carrying its accumulated integer value forward.
+    m.d = static_cast<double>(m.i);
+    m.i = 0;
+    m.is_double = true;
+  }
+  m.d += delta;
 }
 
 int64_t MetricsRegistry::get_int(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = metrics_.find(name);
-  if (it == metrics_.end()) return 0;
-  return it->second.is_double ? static_cast<int64_t>(it->second.d)
-                              : it->second.i;
+  return it == metrics_.end() ? 0 : it->second.as_int();
 }
 
 double MetricsRegistry::get_double(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = metrics_.find(name);
-  if (it == metrics_.end()) return 0;
-  return it->second.is_double ? it->second.d
-                              : static_cast<double>(it->second.i);
+  return it == metrics_.end() ? 0 : it->second.as_double();
 }
 
 bool MetricsRegistry::has(const std::string& name) const {
@@ -80,13 +113,20 @@ void MetricsRegistry::clear() {
   metrics_.clear();
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.values_ = metrics_;
+  return snap;
+}
+
 std::string MetricsRegistry::to_text() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const auto& [name, m] : metrics_) {
     out += name;
     out += ' ';
-    append_value(&out, m.is_double, m.i, m.d);
+    append_value(&out, m);
     out += '\n';
   }
   return out;
@@ -102,7 +142,7 @@ std::string MetricsRegistry::to_json() const {
     out += "  \"";
     append_escaped(&out, name);
     out += "\": ";
-    append_value(&out, m.is_double, m.i, m.d);
+    append_value(&out, m);
   }
   out += "\n}\n";
   return out;

@@ -7,10 +7,23 @@
 // deterministic text or JSON dump replaces the three ad-hoc printing
 // paths that existed before (see docs/OBSERVABILITY.md).
 //
+// Live polling: both executors can publish in-run counters ("live.*"
+// names) into a registry handed to them via SimParams::metrics /
+// run_on_threads, and snapshot() returns a self-contained copy of the
+// whole map under one lock acquisition — the low-overhead poll surface
+// the policy components adapt on (docs/OBSERVABILITY.md, "Live polling
+// & adaptation").
+//
 // Thread-safety: every method takes the registry mutex, so a snapshot
 // or dump taken while another thread is still filling counters is
 // tear-free (it may interleave between two set() calls, which is the
 // documented snapshot semantics — same as Scheduler::stats()).
+//
+// Type model: a metric is either an int64 counter or a double gauge,
+// decided by the last set(). add() accumulates into whichever
+// representation the metric currently has (a delta on a double-typed
+// metric lands in the double; a double delta on an int-typed metric
+// promotes it to double). A metric created by add() starts as int64.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +33,52 @@
 
 namespace obs {
 
+// One metric value as stored: an int64 counter or a double gauge.
+struct MetricValue {
+  bool is_double = false;
+  int64_t i = 0;
+  double d = 0;
+
+  int64_t as_int() const { return is_double ? static_cast<int64_t>(d) : i; }
+  double as_double() const { return is_double ? d : static_cast<double>(i); }
+};
+
 class MetricsRegistry {
  public:
+  // Copyable point-in-time view of the whole registry, detached from
+  // the producer: lookups take no lock and never block the run.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+    int64_t get_int(const std::string& name) const;
+    double get_double(const std::string& name) const;
+    bool has(const std::string& name) const;
+    size_t size() const { return values_.size(); }
+
+    const std::map<std::string, MetricValue>& values() const {
+      return values_;
+    }
+
+   private:
+    friend class MetricsRegistry;
+    std::map<std::string, MetricValue> values_;
+  };
+
   void set(const std::string& name, int64_t value);
   void set(const std::string& name, double value);
+  // Accumulate into the metric's current representation (see the type
+  // model above).
   void add(const std::string& name, int64_t delta);
+  void add(const std::string& name, double delta);
+  // Smaller integer types would otherwise be ambiguous between the
+  // int64 and double overloads; they are counters, route accordingly.
+  void set(const std::string& name, int value) {
+    set(name, static_cast<int64_t>(value));
+  }
+  void add(const std::string& name, int delta) {
+    add(name, static_cast<int64_t>(delta));
+  }
 
   // Value lookups (0 when absent). has() distinguishes absent from 0.
   int64_t get_int(const std::string& name) const;
@@ -34,20 +88,19 @@ class MetricsRegistry {
   size_t size() const;
   void clear();
 
-  // "name value\n" lines, sorted by name; doubles print with %.6g.
+  // Copy of every metric under a single lock acquisition — the live
+  // poll API (safe to call while executors are still publishing).
+  Snapshot snapshot() const;
+
+  // "name value\n" lines, sorted by name; doubles print with 6
+  // significant digits (locale-independent, always '.').
   std::string to_text() const;
   // One flat JSON object, keys sorted.
   std::string to_json() const;
 
  private:
-  struct Metric {
-    bool is_double = false;
-    int64_t i = 0;
-    double d = 0;
-  };
-
   mutable std::mutex mutex_;
-  std::map<std::string, Metric> metrics_;
+  std::map<std::string, MetricValue> metrics_;
 };
 
 }  // namespace obs

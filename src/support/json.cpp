@@ -1,6 +1,7 @@
 #include "support/json.hpp"
 
-#include <cstdlib>
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -103,8 +104,13 @@ class Parser {
     return false;
   }
 
+  // Containers nest by recursion; the cap bounds stack usage while
+  // accepting the deeply nested arrays real trace corpora contain (the
+  // old cap of 200 rejected valid documents well within stack limits).
+  static constexpr int kMaxDepth = 1000;
+
   support::Status parse_value(Value* out) {
-    if (depth_ > 200) return error("nesting too deep");
+    if (depth_ > kMaxDepth) return error("nesting too deep");
     if (pos_ >= text_.size()) return error("unexpected end of input");
     char c = text_[pos_];
     switch (c) {
@@ -234,30 +240,37 @@ class Parser {
           *out += '\t';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size())
-            return error("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9')
-              code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code += static_cast<unsigned>(h - 'A' + 10);
-            else
-              return error("invalid \\u escape");
+          SUP_RETURN_IF_ERROR(parse_u_hex(&code));
+          // A high surrogate followed by "\uDC00".."\uDFFF" is one
+          // supplementary-plane code point; emitting each half as a
+          // 3-byte sequence (as the old code did) produced CESU-8 that
+          // strict UTF-8 consumers reject. Unpaired surrogates still
+          // pass through as-is — lenient, like the rest of the parser.
+          if (code >= 0xD800 && code <= 0xDBFF &&
+              text_.substr(pos_, 2) == "\\u") {
+            size_t rewind = pos_;
+            pos_ += 2;
+            unsigned low = 0;
+            SUP_RETURN_IF_ERROR(parse_u_hex(&low));
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              pos_ = rewind;  // not a pair; re-parse `low` as its own escape
+            }
           }
-          // UTF-8 encode (surrogate pairs are passed through as two
-          // 3-byte sequences — fine for the tooling use case).
           if (code < 0x80) {
             *out += static_cast<char>(code);
           } else if (code < 0x800) {
             *out += static_cast<char>(0xC0 | (code >> 6));
             *out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xF0 | (code >> 18));
+            *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             *out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -268,6 +281,26 @@ class Parser {
       }
     }
     return error("unterminated string");
+  }
+
+  // Four hex digits of a \u escape (pos_ just past the 'u').
+  support::Status parse_u_hex(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9')
+        code += static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        code += static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        code += static_cast<unsigned>(h - 'A' + 10);
+      else
+        return error("invalid \\u escape");
+    }
+    *out = code;
+    return support::Status::ok();
   }
 
   support::Status parse_number(Value* out) {
@@ -299,8 +332,20 @@ class Parser {
       if (!exp_digits) return error("invalid number exponent");
     }
     if (!digits) return error("invalid number");
-    std::string token(text_.substr(start, pos_ - start));
-    *out = Value::make_number(std::strtod(token.c_str(), nullptr));
+    // from_chars, not strtod: strtod honours LC_NUMERIC, so under a
+    // decimal-comma locale it would stop at the '.' of "0.25" (and at
+    // the '.' inside "6.02e23") and silently return the truncated
+    // integer part — a misparse, not a reject.
+    double v = 0;
+    const char* first = text_.data() + start;
+    auto [end, ec] = std::from_chars(first, text_.data() + pos_, v);
+    if (ec == std::errc::result_out_of_range) {
+      // JSON places no range limit; saturate like strtod does.
+      v = (*first == '-') ? -HUGE_VAL : HUGE_VAL;
+    } else if (ec != std::errc() || end != text_.data() + pos_) {
+      return error("invalid number");
+    }
+    *out = Value::make_number(v);
     return support::Status::ok();
   }
 

@@ -2,9 +2,12 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
+#include <clocale>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace support {
 
@@ -52,13 +55,38 @@ Result<int64_t> parse_int(std::string_view s) {
 Result<double> parse_double(std::string_view s) {
   std::string t(trim(s));
   if (t.empty()) return invalid_argument("empty number");
-  errno = 0;
-  char* end = nullptr;
-  double v = std::strtod(t.c_str(), &end);
-  if (errno == ERANGE) return out_of_range("number out of range: " + t);
-  if (end != t.c_str() + t.size())
+  // std::from_chars always expects '.' as the decimal separator, unlike
+  // strtod which honours LC_NUMERIC (a German locale would stop at the
+  // '.' of "0.25" and yield 0).
+  double v = 0;
+  auto [end, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec == std::errc::result_out_of_range)
+    return out_of_range("number out of range: " + t);
+  if (ec != std::errc() || end != t.data() + t.size())
     return invalid_argument("not a number: '" + t + "'");
   return v;
+}
+
+void append_double(std::string* out, double value, int precision) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value,
+                                 std::chars_format::general, precision);
+  if (ec != std::errc()) {
+    // Cannot happen for finite doubles at sane precisions; fall back to
+    // snprintf with the locale's separator patched to '.'.
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    for (char* p = buf; *p != '\0'; ++p)
+      if (*p == ',') *p = '.';
+    out->append(buf);
+    return;
+  }
+  out->append(buf, static_cast<size_t>(end - buf));
+}
+
+std::string format_double(double value, int precision) {
+  std::string out;
+  append_double(&out, value, precision);
+  return out;
 }
 
 bool is_identifier(std::string_view s) {

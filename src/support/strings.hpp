@@ -21,8 +21,18 @@ bool starts_with(std::string_view s, std::string_view prefix);
 bool ends_with(std::string_view s, std::string_view suffix);
 
 // Strict integer / double parsing of the full string (after trimming).
+// Locale-independent: the decimal separator is always '.' no matter
+// what LC_NUMERIC the host process runs under.
 Result<int64_t> parse_int(std::string_view s);
 Result<double> parse_double(std::string_view s);
+
+// Locale-independent shortest-faithful double formatting with %.6g
+// semantics (precision significant digits, fixed/scientific picked
+// automatically). snprintf("%g") writes the LC_NUMERIC decimal
+// separator — a comma under e.g. de_DE — which corrupts JSON output;
+// every JSON/metrics emitter routes doubles through here instead.
+void append_double(std::string* out, double value, int precision = 6);
+std::string format_double(double value, int precision = 6);
 
 // True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_.-]*
 bool is_identifier(std::string_view s);

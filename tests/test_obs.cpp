@@ -7,6 +7,7 @@
 // marker per splice.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <set>
 #include <string>
 
@@ -16,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/json.hpp"
+#include "support/strings.hpp"
 #include "xspcl/loader.hpp"
 
 namespace {
@@ -106,6 +108,88 @@ TEST(Metrics, SetAddGetAndDump) {
   ASSERT_TRUE(root.is_object());
   EXPECT_EQ(root.number_or("b.count", -1), 7);
   EXPECT_EQ(root.number_or("a.rate", -1), 0.25);
+}
+
+TEST(Metrics, AddAfterDoubleSetAccumulates) {
+  // Regression: add() used to bump the integer slot unconditionally,
+  // which nothing reads while is_double is set — the delta silently
+  // vanished for any metric last set() as a double.
+  obs::MetricsRegistry reg;
+  reg.set("gauge", 0.5);
+  reg.add("gauge", 2);
+  EXPECT_DOUBLE_EQ(reg.get_double("gauge"), 2.5);
+  EXPECT_EQ(reg.get_int("gauge"), 2);  // truncation of 2.5
+  EXPECT_EQ(reg.to_text(), "gauge 2.5\n");
+}
+
+TEST(Metrics, DoubleDeltaPromotesIntMetric) {
+  obs::MetricsRegistry reg;
+  reg.set("v", int64_t{3});
+  reg.add("v", 0.5);  // promotes, carrying the accumulated 3 forward
+  EXPECT_DOUBLE_EQ(reg.get_double("v"), 3.5);
+  // Once a double, always a double (until the next set()).
+  reg.add("v", 1);
+  EXPECT_DOUBLE_EQ(reg.get_double("v"), 4.5);
+  // add() on a fresh name starts as an int counter.
+  reg.add("fresh", 2);
+  EXPECT_EQ(reg.to_text(), "fresh 2\nv 4.5\n");
+}
+
+TEST(Metrics, SnapshotIsADetachedCopy) {
+  obs::MetricsRegistry reg;
+  reg.set("a", int64_t{1});
+  reg.set("b", 0.75);
+  obs::MetricsRegistry::Snapshot snap = reg.snapshot();
+  // Later registry writes do not leak into the snapshot.
+  reg.set("a", int64_t{99});
+  reg.set("c", int64_t{5});
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.get_int("a"), 1);
+  EXPECT_DOUBLE_EQ(snap.get_double("b"), 0.75);
+  EXPECT_TRUE(snap.has("b"));
+  EXPECT_FALSE(snap.has("c"));
+  EXPECT_EQ(snap.get_int("c"), 0);
+  // values() exposes the map for iteration.
+  EXPECT_EQ(snap.values().begin()->first, "a");
+}
+
+// Runs `fn` under a decimal-comma locale when one is installed;
+// otherwise skips. Restores the previous locale on every path.
+template <typename Fn>
+void with_comma_locale(Fn&& fn) {
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  std::string saved = previous != nullptr ? previous : "C";
+  const char* chosen = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      chosen = name;
+      break;
+    }
+  }
+  if (chosen == nullptr)
+    GTEST_SKIP() << "no decimal-comma locale installed";
+  fn();
+  std::setlocale(LC_ALL, saved.c_str());
+}
+
+TEST(Metrics, JsonRoundTripsUnderCommaLocale) {
+  // snprintf("%g") honours LC_NUMERIC: under de_DE it prints "0,25",
+  // which is invalid JSON and breaks the dotted-name text format. The
+  // formatter must be locale-independent.
+  with_comma_locale([] {
+    obs::MetricsRegistry reg;
+    reg.set("a.rate", 0.25);
+    reg.set("b.count", int64_t{7});
+    EXPECT_EQ(reg.to_text(), "a.rate 0.25\nb.count 7\n");
+    auto parsed = support::json::parse(reg.to_json());
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    EXPECT_DOUBLE_EQ(parsed.value().number_or("a.rate", -1), 0.25);
+    // The parser side must be locale-independent too (strtod would
+    // stop at the '.').
+    EXPECT_DOUBLE_EQ(support::json::parse("6.02e23").value().number(),
+                     6.02e23);
+    EXPECT_DOUBLE_EQ(support::parse_double("2.5").value(), 2.5);
+  });
 }
 
 TEST(Metrics, EscapesNamesInJson) {

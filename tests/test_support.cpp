@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
@@ -224,6 +226,73 @@ TEST(Json, NumberOrAndStringOrFallbacks) {
   EXPECT_EQ(root.string_or("s", "d"), "v");
   EXPECT_EQ(root.string_or("n", "d"), "d");  // wrong type
   EXPECT_EQ(root.string_or("missing", "d"), "d");
+}
+
+TEST(Json, ParsesExponentFormNumbers) {
+  EXPECT_DOUBLE_EQ(support::json::parse("6.02e23").value().number(),
+                   6.02e23);
+  EXPECT_DOUBLE_EQ(support::json::parse("1E+3").value().number(), 1000.0);
+  EXPECT_DOUBLE_EQ(support::json::parse("-2.5e-2").value().number(),
+                   -0.025);
+  EXPECT_DOUBLE_EQ(support::json::parse("5e0").value().number(), 5.0);
+  // Huge magnitudes saturate rather than reject (JSON has no range
+  // limit).
+  auto huge = support::json::parse("1e999");
+  ASSERT_TRUE(huge.is_ok());
+  EXPECT_TRUE(std::isinf(huge.value().number()));
+  auto neg_huge = support::json::parse("-1e999");
+  ASSERT_TRUE(neg_huge.is_ok());
+  EXPECT_TRUE(std::isinf(neg_huge.value().number()));
+  EXPECT_LT(neg_huge.value().number(), 0);
+  // Exponent without digits is still malformed.
+  EXPECT_FALSE(support::json::parse("1e").is_ok());
+  EXPECT_FALSE(support::json::parse("1e+").is_ok());
+}
+
+TEST(Json, CombinesSurrogatePairsIntoUtf8) {
+  // U+1D11E (musical G clef) = 𝄞: one 4-byte UTF-8 sequence,
+  // not two 3-byte CESU-8 halves.
+  auto parsed = support::json::parse(R"("𝄞")");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().str(), "\xF0\x9D\x84\x9E");
+  // An emoji the trace-name corpus actually contains.
+  auto emoji = support::json::parse(R"("😀")");
+  ASSERT_TRUE(emoji.is_ok());
+  EXPECT_EQ(emoji.value().str(), "\xF0\x9F\x98\x80");
+  // A high surrogate not followed by a low one passes through as-is
+  // (lenient), and the follower is decoded on its own.
+  auto unpaired = support::json::parse(R"("\uD834x")");
+  ASSERT_TRUE(unpaired.is_ok());
+  EXPECT_EQ(unpaired.value().str(), "\xED\xA0\xB4x");
+  // "\u" follower that is not a low surrogate: the parser rewinds and
+  // decodes it as its own escape.
+  auto not_low = support::json::parse(R"("\uD834\u0041")");
+  ASSERT_TRUE(not_low.is_ok());
+  EXPECT_EQ(not_low.value().str(), "\xED\xA0\xB4\x41");
+  // Truncated escapes still reject.
+  EXPECT_FALSE(support::json::parse(R"("\uD834\u12")").is_ok());
+}
+
+TEST(Json, AcceptsDeeplyNestedArrays) {
+  // 512 levels: rejected by the old depth cap of 200, comfortably
+  // within real stack limits.
+  std::string deep;
+  for (int i = 0; i < 512; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 512; ++i) deep += ']';
+  auto parsed = support::json::parse(deep);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const support::json::Value* v = &parsed.value();
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->array().size(), 1u);
+    v = &v->array()[0];
+  }
+  EXPECT_EQ(v->number_int(), 1);
+  // The (raised) recursion cap still exists.
+  std::string too_deep;
+  for (int i = 0; i < 2000; ++i) too_deep += '[';
+  EXPECT_FALSE(support::json::parse(too_deep).is_ok());
 }
 
 }  // namespace

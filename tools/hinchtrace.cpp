@@ -159,6 +159,32 @@ int main(int argc, char** argv) {
       }
       std::printf("  ts=%-12.0f lane=%" PRId64 "\n", m.ts, m.lane);
     }
+    // Adaptation summary: splice spacing over the run. A healthy
+    // feedback policy reconfigures on load edges only — a small min gap
+    // relative to the span is the signature of an oscillating policy
+    // (degenerate hysteresis band; see docs/OBSERVABILITY.md).
+    std::vector<double> ts_sorted;
+    ts_sorted.reserve(reconfigs.size());
+    for (const Marker& m : reconfigs) ts_sorted.push_back(m.ts);
+    std::sort(ts_sorted.begin(), ts_sorted.end());
+    std::printf("\nadaptation summary:\n");
+    std::printf("  first=%.0f last=%.0f (%.1f%% of span apart)\n",
+                ts_sorted.front(), ts_sorted.back(),
+                span_end > 0
+                    ? 100.0 * (ts_sorted.back() - ts_sorted.front()) /
+                          span_end
+                    : 0.0);
+    if (ts_sorted.size() > 1) {
+      double min_gap = ts_sorted[1] - ts_sorted[0], sum_gap = 0;
+      for (size_t i = 1; i < ts_sorted.size(); ++i) {
+        double gap = ts_sorted[i] - ts_sorted[i - 1];
+        sum_gap += gap;
+        if (gap < min_gap) min_gap = gap;
+      }
+      std::printf("  inter-splice gap: min=%.0f mean=%.0f (%s)\n", min_gap,
+                  sum_gap / static_cast<double>(ts_sorted.size() - 1),
+                  unit);
+    }
   }
   return 0;
 }

@@ -280,10 +280,15 @@ int main(int argc, char** argv) {
                      "will contain no events\n");
       trace = std::make_unique<obs::TraceSession>();
     }
+    // The registry doubles as the run's live-poll surface: executors
+    // publish "live.*" gauges into it mid-run, which lets policy
+    // components in the spec adapt (docs/OBSERVABILITY.md). The final
+    // gauge values stay in the --metrics dump alongside the collected
+    // result metrics.
     obs::MetricsRegistry metrics;
     if (args.backend == "threads") {
-      hinch::ThreadResult r =
-          hinch::run_on_threads(*prog.value(), run, args.cores, trace.get());
+      hinch::ThreadResult r = hinch::run_on_threads(
+          *prog.value(), run, args.cores, trace.get(), &metrics);
       std::printf("backend=threads workers=%d iterations=%lld "
                   "wall_seconds=%.6f jobs=%llu\n",
                   args.cores, args.iterations, r.wall_seconds,
@@ -293,6 +298,7 @@ int main(int argc, char** argv) {
       hinch::SimParams sim;
       sim.cores = args.cores;
       sim.trace = trace.get();
+      sim.metrics = &metrics;
       hinch::SimResult r = hinch::run_on_sim(*prog.value(), run, sim);
       std::printf(
           "backend=sim cores=%d iterations=%lld cycles=%llu jobs=%llu "
