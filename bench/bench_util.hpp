@@ -258,6 +258,13 @@ class BenchReport {
         name.c_str(), baseline_ms, optimized_ms, baseline_ms / optimized_ms);
   }
 
+  // Free-form string facts about the run (kernel dispatch tier, host,
+  // flags); emitted as a "context" object so BENCH_*.json artifacts from
+  // different machines/legs are distinguishable.
+  void add_context(const std::string& key, const std::string& value) {
+    context_.emplace_back(key, value);
+  }
+
   const std::vector<BenchRow>& rows() const { return rows_; }
 
   // Returns the speedup of the named row, or 0 if absent.
@@ -279,6 +286,13 @@ class BenchReport {
     // invalid JSON (see docs/OBSERVABILITY.md, number formatting).
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
     std::fprintf(f, "  \"clock\": \"host_wall_clock\",\n");
+    if (!context_.empty()) {
+      std::fprintf(f, "  \"context\": {");
+      for (size_t i = 0; i < context_.size(); ++i)
+        std::fprintf(f, "%s\"%s\": \"%s\"", i ? ", " : "",
+                     context_[i].first.c_str(), context_[i].second.c_str());
+      std::fprintf(f, "},\n");
+    }
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const BenchRow& r = rows_[i];
@@ -299,6 +313,7 @@ class BenchReport {
 
  private:
   std::string bench_;
+  std::vector<std::pair<std::string, std::string>> context_;
   std::vector<BenchRow> rows_;
 };
 

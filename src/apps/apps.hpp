@@ -11,4 +11,5 @@
 
 #include "apps/blur.hpp"
 #include "apps/jpip.hpp"
+#include "apps/mjpeg.hpp"
 #include "apps/pip.hpp"

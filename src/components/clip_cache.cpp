@@ -10,14 +10,14 @@ namespace {
 
 // Raw and encoded clips share one LRU list and one byte budget; the
 // payload kind only matters at lookup time.
-using MapKey = std::tuple<int, uint64_t, int, int, int, int, int>;
+using MapKey = std::tuple<int, uint64_t, int, int, int, int, int, int>;
 
 constexpr int kRawKind = 0;
 constexpr int kMjpegKind = 1;
 
 MapKey map_key(int kind, const ClipKey& k) {
-  return {kind,      k.seed,   k.width, k.height, static_cast<int>(k.format),
-          k.frames,  k.quality};
+  return {kind,      k.seed,    k.width,  k.height,
+          static_cast<int>(k.format), k.frames, k.quality, k.restart};
 }
 
 struct CacheEntry {
@@ -83,6 +83,7 @@ CacheEntry* insert(CacheEntry entry) {
 std::shared_ptr<const media::RawVideo> cached_raw_clip(const ClipKey& key) {
   ClipKey k = key;
   k.quality = 0;  // irrelevant for raw clips
+  k.restart = 0;
   MapKey mk = map_key(kRawKind, k);
   std::lock_guard<std::mutex> lock(g_mutex);
   if (CacheEntry* hit = touch(mk)) return hit->raw;
@@ -109,7 +110,7 @@ std::shared_ptr<const media::MjpegClip> cached_mjpeg_clip(const ClipKey& key) {
   spec.height = key.height;
   spec.format = key.format;
   media::RawVideo raw = media::RawVideo::synthesize(spec, key.frames);
-  auto encoded = media::MjpegClip::encode(raw, key.quality);
+  auto encoded = media::MjpegClip::encode(raw, key.quality, key.restart);
   SUP_CHECK_MSG(encoded.is_ok(), encoded.status().to_string().c_str());
   CacheEntry entry;
   entry.key = mk;

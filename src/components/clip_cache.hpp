@@ -25,7 +25,8 @@ struct ClipKey {
   int height;
   media::PixelFormat format;
   int frames;
-  int quality;  // only meaningful for encoded clips
+  int quality;      // only meaningful for encoded clips
+  int restart = 0;  // JPEG restart interval (encoded clips; 0 = none)
 
   bool operator==(const ClipKey&) const = default;
 };

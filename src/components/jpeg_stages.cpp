@@ -37,18 +37,27 @@ uint64_t coeff_plane_offset(const CoeffImage& img, int plane) {
   return off;
 }
 
-// Entropy decode + dequantization. Not data-parallel (the Huffman
-// bitstream is inherently sequential), which is why the paper gives it
-// its own pipeline stage.
+// Entropy decode + dequantization. The Huffman bitstream is inherently
+// sequential — unless the encoder emitted restart markers, in which case
+// the `workers` param splits the scan across that many host threads
+// (bit-identical result; streams without markers decode serially). The
+// simulated-cycle charge is unaffected either way.
 class JpegDecodeComponent : public hinch::Component {
  public:
   static support::Result<std::unique_ptr<hinch::Component>> create(
-      const hinch::ComponentConfig&) {
-    return std::unique_ptr<hinch::Component>(new JpegDecodeComponent());
+      const hinch::ComponentConfig& config) {
+    int workers =
+        static_cast<int>(hinch::param_int_or(config.params, "workers", 1));
+    if (workers < 1 || workers > 256)
+      return support::invalid_argument(
+          "jpeg_decode: workers must be in [1, 256]");
+    return std::unique_ptr<hinch::Component>(
+        new JpegDecodeComponent(workers));
   }
 
-  JpegDecodeComponent()
-      : in_(declare_input("jpeg")), out_(declare_output("coeffs")) {}
+  explicit JpegDecodeComponent(int workers)
+      : in_(declare_input("jpeg")), out_(declare_output("coeffs")),
+        workers_(workers) {}
 
   void run(hinch::ExecContext& ctx) override {
     auto bytes = ctx.read(in_).get<std::vector<uint8_t>>();
@@ -60,7 +69,8 @@ class JpegDecodeComponent : public hinch::Component {
       spare_ = std::make_shared<CoeffImage>();
     auto img = spare_;
     support::Status st = media::jpeg::decode_to_coefficients_into(
-        bytes->data(), bytes->size(), img.get());
+        bytes->data(), bytes->size(), img.get(),
+        media::jpeg::HuffmanImpl::kLookupTable, workers_);
     SUP_CHECK_MSG(st.is_ok(), st.to_string().c_str());
     uint64_t out_bytes = coeff_bytes(*img);
     uint64_t blocks = total_blocks(*img);
@@ -74,6 +84,7 @@ class JpegDecodeComponent : public hinch::Component {
  private:
   int in_;
   int out_;
+  int workers_;
   std::shared_ptr<CoeffImage> spare_;
 };
 

@@ -21,6 +21,7 @@ support::Result<ClipKey> clip_key_from_params(const hinch::ParamMap& params) {
   key.height = static_cast<int>(hinch::param_int_or(params, "height", 240));
   key.frames = static_cast<int>(hinch::param_int_or(params, "frames", 32));
   key.quality = static_cast<int>(hinch::param_int_or(params, "quality", 75));
+  key.restart = static_cast<int>(hinch::param_int_or(params, "restart", 0));
   SUP_ASSIGN_OR_RETURN(
       key.format,
       parse_format(hinch::param_string_or(params, "format", "yuv420")));
@@ -28,6 +29,8 @@ support::Result<ClipKey> clip_key_from_params(const hinch::ParamMap& params) {
     return support::invalid_argument("source frames must be at least 8x8");
   if (key.frames < 1)
     return support::invalid_argument("source needs at least one frame");
+  if (key.restart < 0 || key.restart > 65535)
+    return support::invalid_argument("restart interval must be in [0, 65535]");
   return key;
 }
 

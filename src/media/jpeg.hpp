@@ -66,9 +66,16 @@ enum class IdctImpl {
 
 // Phase 1: parse markers, entropy-decode, dequantize. Both Huffman
 // implementations produce bit-identical CoeffImages.
+//
+// workers > 1 entropy-decodes restart-marker-delimited segments of the
+// scan on that many host threads (kLookupTable only). Restart segments
+// share no decoder state by construction (T.81 §F.2.1.3.1: DC predictors
+// reset, byte-aligned), so the result is bit-identical to the serial
+// decode; streams without restart markers — and malformed marker layouts
+// — silently take the serial path so every error keeps its serial text.
 support::Result<CoeffImage> decode_to_coefficients(
     const uint8_t* data, size_t size,
-    HuffmanImpl impl = HuffmanImpl::kLookupTable);
+    HuffmanImpl impl = HuffmanImpl::kLookupTable, int workers = 1);
 
 // Streaming variant: decodes into `*out`, reusing its coefficient-block
 // storage when the geometry matches the previous frame. For an MJPEG
@@ -77,7 +84,7 @@ support::Result<CoeffImage> decode_to_coefficients(
 // On error `*out` is left in an unspecified (but reusable) state.
 support::Status decode_to_coefficients_into(
     const uint8_t* data, size_t size, CoeffImage* out,
-    HuffmanImpl impl = HuffmanImpl::kLookupTable);
+    HuffmanImpl impl = HuffmanImpl::kLookupTable, int workers = 1);
 
 // Phase 2: IDCT block rows [block_row0, block_row1) of one component into
 // `out` (which must have the component's pixel dimensions). Thread-safe

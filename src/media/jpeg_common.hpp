@@ -57,19 +57,20 @@ struct HuffEncodeTable {
 HuffEncodeTable build_encode_table(const HuffSpec& spec);
 
 // Decoder-side table using the canonical min/max-code algorithm of
-// ITU-T T.81 §F.2.2.3, plus an 8-bit-indexed fast path: one probe with the
-// next 8 bits of the stream resolves every code of length <= 8 (the vast
-// majority of symbols in the Annex-K tables); longer codes fall back to
-// the canonical bit-serial walk.
+// ITU-T T.81 §F.2.2.3, plus a kLookupBits-indexed fast path: one probe
+// with the next kLookupBits bits of the stream resolves every code of
+// length <= kLookupBits (nearly all symbols in the Annex-K tables);
+// longer codes fall back to the canonical bit-serial walk.
 struct HuffDecodeTable {
-  static constexpr int kLookupBits = 8;
+  static constexpr int kLookupBits = 10;
 
   std::array<int32_t, 17> min_code{};   // per code length 1..16
   std::array<int32_t, 17> max_code{};   // -1 when no codes of that length
   std::array<int32_t, 17> val_ptr{};
   std::vector<uint8_t> values;
   bool valid = false;
-  // lookup[next 8 stream bits] = (code length << 8) | symbol, or 0 when
+  // lookup[next kLookupBits stream bits] = (code length << 8) | symbol,
+  // or 0 when
   // the code is longer than kLookupBits (symbol 0 is a real symbol, so
   // the length byte doubles as the "present" flag).
   std::array<uint16_t, 1 << kLookupBits> lookup{};

@@ -1,8 +1,12 @@
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "media/jpeg.hpp"
 #include "media/jpeg_common.hpp"
+#include "media/kernels_simd.hpp"
 #include "support/strings.hpp"
 
 namespace media::jpeg {
@@ -162,6 +166,22 @@ class FastBitReader {
   // Top up the accumulator to >= 57 bits or until the entropy segment
   // ends (marker or EOF).
   void refill() {
+    // Bulk path: gulp 4 bytes at a time while none of them is 0xFF (no
+    // stuffing, no marker, no EOF possible). The bit trick flags any
+    // all-ones byte in the word; anything flagged falls through to the
+    // byte loop, which keeps the exact stuffing/marker/EOF semantics.
+    while (end_ == BitEnd::kNone && nbits_ <= 32 && pos_ + 4 <= size_) {
+      // memcpy + bswap compiles to one load + one byte swap; gcc does
+      // not fold the equivalent shift-or idiom on this path.
+      uint32_t wle;
+      std::memcpy(&wle, data_ + pos_, 4);
+      const uint32_t w = __builtin_bswap32(wle);
+      uint32_t x = w ^ 0xffffffffu;  // a 0xff byte becomes 0x00
+      if (((x - 0x01010101u) & ~x & 0x80808080u) != 0) break;
+      acc_ = (acc_ << 32) | w;
+      nbits_ += 32;
+      pos_ += 4;
+    }
     while (nbits_ <= 56) {
       if (end_ != BitEnd::kNone) return;
       if (pos_ >= size_) {
@@ -245,8 +265,8 @@ class FastBitReader {
   BitEnd end_ = BitEnd::kNone;
 };
 
-// Decode one Huffman symbol: single table probe for codes <= 8 bits, the
-// canonical walk for the rest. Returns -1 on failure.
+// Decode one Huffman symbol: single table probe for codes up to
+// kLookupBits, the canonical walk for the rest. Returns -1 on failure.
 int decode_symbol(FastBitReader& br, const HuffDecodeTable& t) {
   if (br.bits() < 16) br.refill();
   if (br.bits() >= HuffDecodeTable::kLookupBits) {
@@ -255,9 +275,30 @@ int decode_symbol(FastBitReader& br, const HuffDecodeTable& t) {
       br.consume(entry >> 8);
       return entry & 0xff;
     }
+    if (br.bits() >= 16) {
+      // Long codes with a full window buffered: compare the leading
+      // `len` window bits against max_code per length, starting past the
+      // lookup-covered lengths. State-identical to the bit-serial walk
+      // below (same bits consumed on success and on failure, and with
+      // >= 16 buffered the walk would never refill mid-code).
+      const uint32_t win = br.peek(16);
+      for (int len = HuffDecodeTable::kLookupBits + 1; len <= 16; ++len) {
+        const int32_t code = static_cast<int32_t>(win >> (16 - len));
+        if (t.max_code[static_cast<size_t>(len)] >= 0 &&
+            code <= t.max_code[static_cast<size_t>(len)]) {
+          br.consume(len);
+          int idx = t.val_ptr[static_cast<size_t>(len)] +
+                    (code - t.min_code[static_cast<size_t>(len)]);
+          if (idx < 0 || idx >= static_cast<int>(t.values.size())) return -1;
+          return t.values[static_cast<size_t>(idx)];
+        }
+      }
+      br.consume(16);
+      return -1;
+    }
   }
-  // Long codes (and the final few symbols when fewer than 8 bits remain
-  // before the segment end): bit-serial canonical walk.
+  // Long codes in a segment tail (fewer than 16 bits before the segment
+  // ends): bit-serial canonical walk.
   int32_t code = 0;
   for (int len = 1; len <= 16; ++len) {
     if (br.bits() == 0) {
@@ -281,6 +322,59 @@ inline int extend(int v, int nbits) {
   return v < (1 << (nbits - 1)) ? v - (1 << nbits) + 1 : v;
 }
 
+// Hot-loop refill hoisting: one refill before each (symbol, value) pair
+// covers the worst case (16 code bits + 11 magnitude bits), so the
+// decode fast path below runs with no buffered-bits checks. The
+// bit-serial reference reader keeps its per-bit flow.
+inline void ensure_bits(FastBitReader& br) {
+  if (br.bits() < 32) br.refill();
+}
+inline void ensure_bits(RefBitReader&) {}
+
+// Fused (symbol, magnitude) decode: one wide peek covers the table
+// probe AND the magnitude bits that follow, so the common case costs a
+// single peek/consume round trip. Window width 26 >= kLookupBits code
+// bits (10) + the widest magnitude field a symbol can carry through
+// `entry & 0x0f` (15). Returns false — consuming nothing — for long
+// codes (no table entry) and segment tails (< 26 buffered bits); the
+// caller's slow path then reproduces the unfused decode exactly,
+// including its error reporting order. A symbol that is invalid for its
+// context (DC size > 11) still fully decodes here; the caller aborts on
+// it before the over-consumed bits could matter.
+inline bool decode_sym_mag(FastBitReader& br, const HuffDecodeTable& t,
+                           int* sym, int32_t* mag) {
+  constexpr int kWindow = 26;
+  if (br.bits() < kWindow) return false;
+  const uint32_t win = br.peek(kWindow);
+  const uint16_t entry =
+      t.lookup[win >> (kWindow - HuffDecodeTable::kLookupBits)];
+  if (entry == 0) return false;  // long code: decode_symbol's walk
+  const int len = entry >> 8;
+  const int s = entry & 0x0f;
+  br.consume(len + s);
+  *sym = entry & 0xff;
+  *mag = static_cast<int32_t>((win >> (kWindow - len - s)) &
+                              ((1u << s) - 1));
+  return true;
+}
+inline bool decode_sym_mag(RefBitReader&, const HuffDecodeTable&, int*,
+                           int32_t*) {
+  return false;  // reference reader always takes the bit-serial path
+}
+
+// Magnitude bits without the refill check; only valid right after
+// ensure_bits + a successful symbol decode (<= 16 bits consumed leaves
+// >= 16 buffered — enough for any magnitude width <= 11).
+inline int32_t get_bits_hot(FastBitReader& br, int n) {
+  if (br.bits() < n) return br.get_bits(n);  // segment tail
+  uint32_t v = br.peek(n);
+  br.consume(n);
+  return static_cast<int32_t>(v);
+}
+inline int32_t get_bits_hot(RefBitReader& br, int n) {
+  return br.get_bits(n);
+}
+
 struct FrameComponent {
   int id = 0;
   int h = 1, v = 1;     // sampling factors
@@ -289,90 +383,243 @@ struct FrameComponent {
   int dc_pred = 0;
 };
 
-// Entropy-decode the single interleaved scan into `img`. Shared between
-// the table-driven and bit-serial readers; both must produce identical
-// coefficients (asserted by tests).
+// Entropy-decode MCUs [mcu_begin, mcu_end) — one restart segment, or the
+// whole scan when there are no restart markers. The reader must be
+// positioned at the segment's first entropy byte with an empty
+// accumulator, and `comps` carries the DC predictors (reset to 0 at
+// every restart boundary by the callers). Nonzero-coefficient counts
+// accumulate into *nonzero so parallel segment decodes stay disjoint.
+template <class Reader>
+support::Status decode_mcu_run(
+    Reader& br, std::vector<FrameComponent>& comps,
+    const std::array<std::array<uint16_t, 64>, 4>& quant_tables,
+    const std::array<HuffDecodeTable, 4>& dc_tables,
+    const std::array<HuffDecodeTable, 4>& ac_tables, int mcus_x,
+    int mcu_begin, int mcu_end, CoeffImage& img, size_t* nonzero,
+    bool zero_blocks) {
+  for (int mcu = mcu_begin; mcu < mcu_end; ++mcu) {
+    const int mx = mcu % mcus_x;
+    const int my = mcu / mcus_x;
+    for (size_t ci = 0; ci < comps.size(); ++ci) {
+      FrameComponent& c = comps[ci];
+      const HuffDecodeTable& dct = dc_tables[static_cast<size_t>(c.dc_table)];
+      const HuffDecodeTable& act = ac_tables[static_cast<size_t>(c.ac_table)];
+      if (!dct.valid || !act.valid) return bad("missing Huffman table");
+      const auto& q = quant_tables[static_cast<size_t>(c.quant_id)];
+      CoeffPlane& cp = img.comps[ci];
+      for (int sy = 0; sy < c.v; ++sy) {
+        for (int sx = 0; sx < c.h; ++sx) {
+          int bx = mx * c.h + sx;
+          int by = my * c.v + sy;
+          auto& block =
+              cp.blocks[static_cast<size_t>(by) * cp.blocks_w + bx];
+          // Reused coefficient buffers are zeroed here (not with a
+          // full-image memset at allocation) so the store stays
+          // cache-hot; a freshly resized buffer is already
+          // value-initialized and skips the second zeroing pass.
+          if (zero_blocks) block.fill(0);
+
+          // DC.
+          ensure_bits(br);
+          int s = 0;
+          int32_t dc_bits = 0;
+          const bool dc_fused = decode_sym_mag(br, dct, &s, &dc_bits);
+          if (!dc_fused) s = decode_symbol(br, dct);
+          if (s < 0 || s > 11)
+            return entropy_error(br.end_reason(), "bad DC symbol");
+          int diff = 0;
+          if (s > 0) {
+            if (!dc_fused) {
+              dc_bits = get_bits_hot(br, s);
+              if (dc_bits < 0)
+                return entropy_error(br.end_reason(), "truncated DC bits");
+            }
+            diff = extend(dc_bits, s);
+          }
+          c.dc_pred += diff;
+          block[0] = static_cast<int16_t>(c.dc_pred * q[0]);
+          if (c.dc_pred != 0) ++*nonzero;
+
+          // AC.
+          int k = 1;
+          while (k < 64) {
+            ensure_bits(br);
+            int rs = 0;
+            int32_t bits = 0;
+            const bool fused = decode_sym_mag(br, act, &rs, &bits);
+            if (!fused) {
+              rs = decode_symbol(br, act);
+              if (rs < 0)
+                return entropy_error(br.end_reason(), "bad AC symbol");
+            }
+            int run = rs >> 4;
+            int sbits = rs & 0x0f;
+            if (sbits == 0) {
+              if (run == 15) {
+                k += 16;  // ZRL
+                continue;
+              }
+              break;  // EOB
+            }
+            k += run;
+            if (k > 63) return bad("AC run overflows block");
+            if (!fused) {
+              bits = get_bits_hot(br, sbits);
+              if (bits < 0)
+                return entropy_error(br.end_reason(), "truncated AC bits");
+            }
+            int v = extend(bits, sbits);
+            block[kZigZag[k]] =
+                static_cast<int16_t>(v * q[kZigZag[k]]);
+            ++*nonzero;
+            ++k;
+          }
+        }
+      }
+    }
+  }
+  return support::Status::ok();
+}
+
+// Entropy-decode the single interleaved scan into `img`, serially, as a
+// chain of restart-delimited MCU runs (one run covering the whole scan
+// when there are no restart markers). Shared between the table-driven
+// and bit-serial readers; both must produce identical coefficients
+// (asserted by tests).
 template <class Reader>
 support::Status decode_scan(
     Reader& br, std::vector<FrameComponent>& comps,
     const std::array<std::array<uint16_t, 64>, 4>& quant_tables,
     const std::array<HuffDecodeTable, 4>& dc_tables,
     const std::array<HuffDecodeTable, 4>& ac_tables, int mcus_x, int mcus_y,
-    int restart_interval, CoeffImage& img) {
-  int mcu_count = 0;
+    int restart_interval, CoeffImage& img, bool zero_blocks) {
+  const int total = mcus_x * mcus_y;
+  const int run = restart_interval > 0 ? restart_interval : total;
   int restart_index = 0;
-  for (int my = 0; my < mcus_y; ++my) {
-    for (int mx = 0; mx < mcus_x; ++mx) {
-      if (restart_interval && mcu_count == restart_interval) {
-        if (!br.consume_restart(restart_index)) return bad("missing RSTn");
-        restart_index = (restart_index + 1) & 7;
-        mcu_count = 0;
-        for (FrameComponent& c : comps) c.dc_pred = 0;
+  size_t nonzero = 0;
+  for (int begin = 0; begin < total; begin += run) {
+    if (begin > 0) {
+      if (!br.consume_restart(restart_index)) return bad("missing RSTn");
+      restart_index = (restart_index + 1) & 7;
+      for (FrameComponent& c : comps) c.dc_pred = 0;
+    }
+    support::Status st = decode_mcu_run(
+        br, comps, quant_tables, dc_tables, ac_tables, mcus_x, begin,
+        std::min(total, begin + run), img, &nonzero, zero_blocks);
+    if (!st.is_ok()) return st;
+  }
+  img.nonzero_coeffs += nonzero;
+  return support::Status::ok();
+}
+
+// ---- restart-marker parallel entropy decode --------------------------------
+//
+// Restart segments are independent by construction (T.81 §F.2.1.3.1):
+// byte-aligned, DC predictors reset, delimited by RST(n mod 8) markers.
+// A fresh FastBitReader positioned just past a restart marker is in
+// exactly the state the serial reader has after consume_restart (empty
+// accumulator, end = kNone), and each segment decodes a disjoint
+// [mcu_begin, mcu_end) block range, so segments can run on independent
+// threads and remain bit-identical to the serial decode.
+
+// One restart-delimited span of the entropy stream.
+struct RestartSegment {
+  int mcu_begin = 0;
+  int mcu_end = 0;  // exclusive
+  size_t pos = 0;   // first entropy byte (just past the preceding RSTn)
+};
+
+// Walk the entropy stream once, recording where each restart segment
+// starts (0xFF00 is a stuffed data byte, anything else 0xFF-prefixed is
+// a marker). Returns false when the layout is not the well-formed one
+// the parallel decoder handles — a wrong-index or non-RST marker, or the
+// stream ending early — in which case the caller falls back to the
+// serial path so malformed streams keep their exact serial error text.
+bool prescan_restart_segments(const uint8_t* data, size_t size,
+                              size_t scan_start, int total_mcus,
+                              int restart_interval,
+                              std::vector<RestartSegment>* segs) {
+  const int nseg = (total_mcus + restart_interval - 1) / restart_interval;
+  segs->clear();
+  segs->reserve(static_cast<size_t>(nseg));
+  size_t pos = scan_start;
+  for (int s = 0; s < nseg; ++s) {
+    segs->push_back({s * restart_interval,
+                     std::min(total_mcus, (s + 1) * restart_interval), pos});
+    if (s == nseg - 1) break;  // last segment ends at EOI, not RSTn
+    for (;;) {
+      if (pos + 1 >= size) return false;  // ran off the stream
+      if (data[pos] != 0xff) {
+        ++pos;
+        continue;
       }
-      for (size_t ci = 0; ci < comps.size(); ++ci) {
-        FrameComponent& c = comps[ci];
-        const HuffDecodeTable& dct = dc_tables[static_cast<size_t>(c.dc_table)];
-        const HuffDecodeTable& act = ac_tables[static_cast<size_t>(c.ac_table)];
-        if (!dct.valid || !act.valid) return bad("missing Huffman table");
-        const auto& q = quant_tables[static_cast<size_t>(c.quant_id)];
-        CoeffPlane& cp = img.comps[ci];
-        for (int sy = 0; sy < c.v; ++sy) {
-          for (int sx = 0; sx < c.h; ++sx) {
-            int bx = mx * c.h + sx;
-            int by = my * c.v + sy;
-            auto& block =
-                cp.blocks[static_cast<size_t>(by) * cp.blocks_w + bx];
-            // Zero here (not at allocation) so reused coefficient
-            // buffers never take a full-image memset; the store is
-            // cache-hot since the coefficients land right after.
-            block.fill(0);
+      uint8_t m = data[pos + 1];
+      if (m == 0x00) {
+        pos += 2;  // stuffed data byte
+        continue;
+      }
+      if (m != static_cast<uint8_t>(kRST0 + (s & 7))) return false;
+      pos += 2;
+      break;
+    }
+  }
+  return true;
+}
 
-            // DC.
-            int s = decode_symbol(br, dct);
-            if (s < 0 || s > 11)
-              return entropy_error(br.end_reason(), "bad DC symbol");
-            int diff = 0;
-            if (s > 0) {
-              int32_t bits = br.get_bits(s);
-              if (bits < 0)
-                return entropy_error(br.end_reason(), "truncated DC bits");
-              diff = extend(bits, s);
-            }
-            c.dc_pred += diff;
-            block[0] = static_cast<int16_t>(c.dc_pred * q[0]);
-            if (c.dc_pred != 0) ++img.nonzero_coeffs;
-
-            // AC.
-            int k = 1;
-            while (k < 64) {
-              int rs = decode_symbol(br, act);
-              if (rs < 0)
-                return entropy_error(br.end_reason(), "bad AC symbol");
-              int run = rs >> 4;
-              int sbits = rs & 0x0f;
-              if (sbits == 0) {
-                if (run == 15) {
-                  k += 16;  // ZRL
-                  continue;
-                }
-                break;  // EOB
-              }
-              k += run;
-              if (k > 63) return bad("AC run overflows block");
-              int32_t bits = br.get_bits(sbits);
-              if (bits < 0)
-                return entropy_error(br.end_reason(), "truncated AC bits");
-              int v = extend(bits, sbits);
-              block[kZigZag[k]] =
-                  static_cast<int16_t>(v * q[kZigZag[k]]);
-              ++img.nonzero_coeffs;
-              ++k;
-            }
-          }
+// Decode the prescanned segments on up to `workers` threads. Each
+// segment's failure set is identical to the serial decode's (same reader
+// state, same deterministic walk), so returning the earliest failing
+// segment's status reproduces the serial error exactly; the trailing
+// RSTn / EOI checks the serial path does between and after runs are
+// folded into each segment here.
+support::Status decode_scan_restart_parallel(
+    const uint8_t* data, size_t size,
+    const std::vector<FrameComponent>& comps,
+    const std::array<std::array<uint16_t, 64>, 4>& quant_tables,
+    const std::array<HuffDecodeTable, 4>& dc_tables,
+    const std::array<HuffDecodeTable, 4>& ac_tables, int mcus_x,
+    const std::vector<RestartSegment>& segs, int workers, CoeffImage& img,
+    bool zero_blocks) {
+  const int nseg = static_cast<int>(segs.size());
+  std::vector<support::Status> status(static_cast<size_t>(nseg));
+  std::vector<size_t> nonzero(static_cast<size_t>(nseg), 0);
+  std::atomic<int> next{0};
+  auto work = [&]() {
+    for (;;) {
+      const int s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= nseg) return;
+      const RestartSegment& seg = segs[static_cast<size_t>(s)];
+      FastBitReader br(data, size);
+      br.set_pos(seg.pos);
+      std::vector<FrameComponent> local = comps;
+      for (FrameComponent& c : local) c.dc_pred = 0;
+      support::Status st = decode_mcu_run(
+          br, local, quant_tables, dc_tables, ac_tables, mcus_x,
+          seg.mcu_begin, seg.mcu_end, img, &nonzero[static_cast<size_t>(s)],
+          zero_blocks);
+      if (st.is_ok()) {
+        if (s + 1 < nseg) {
+          // The segment must end exactly at its own restart marker (the
+          // prescan found one, but a short segment can leave undecoded
+          // entropy bytes before it — serial fails there too).
+          if (!br.consume_restart(s & 7)) st = bad("missing RSTn");
+        } else if (!br.at_trailing_marker(kEOI)) {
+          st = bad("entropy data not terminated by EOI");
         }
       }
-      ++mcu_count;
+      status[static_cast<size_t>(s)] = st;
     }
+  };
+  const int nthreads = std::max(1, std::min(workers, nseg));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nthreads - 1));
+  for (int i = 1; i < nthreads; ++i) threads.emplace_back(work);
+  work();
+  for (std::thread& t : threads) t.join();
+  for (int s = 0; s < nseg; ++s) {
+    if (!status[static_cast<size_t>(s)].is_ok())
+      return status[static_cast<size_t>(s)];
+    img.nonzero_coeffs += nonzero[static_cast<size_t>(s)];
   }
   return support::Status::ok();
 }
@@ -408,15 +655,17 @@ const IdctTables& idct_tables() {
 // intermediates keep the whole computation exact to well under 1 LSB of
 // the float reference (asserted by tests).
 
-constexpr int kAanPrescaleBits = 14;
-constexpr int kAanConstBits = 14;
-constexpr int kAanPass1Shift = 5;   // pass-1 descale: 2^14 -> 2^9
-constexpr int kAanFinalShift = 12;  // 2^9 * 8 (flowgraph gain) = 2^12
-
-constexpr int32_t kFix1_414213562 = 23170;  // sqrt(2)          * 2^14
-constexpr int32_t kFix1_847759065 = 30274;  // 2 cos(pi/8)      * 2^14
-constexpr int32_t kFix1_082392200 = 17734;  // 2(cos(pi/8)-cos(3pi/8)) * 2^14
-constexpr int32_t kFix2_613125930 = 42813;  // 2(cos(pi/8)+cos(3pi/8)) * 2^14
+// The shift amounts and irrational constants are shared with the vector
+// IDCT tiers (media/kernels_simd.hpp) so scalar and SIMD run the same
+// fixed-point flowgraph by construction.
+using media::detail::kAanPrescaleBits;
+using media::detail::kAanConstBits;
+using media::detail::kAanPass1Shift;
+using media::detail::kAanFinalShift;
+using media::detail::kFix1_414213562;
+using media::detail::kFix1_847759065;
+using media::detail::kFix1_082392200;
+using media::detail::kFix2_613125930;
 
 inline int64_t aan_mul(int64_t x, int32_t k) {
   return (x * k + (1 << (kAanConstBits - 1))) >> kAanConstBits;
@@ -507,7 +756,21 @@ void idct_block_float(const int16_t in[64], float out[64]) {
 }
 
 void idct_block_fixed(const int16_t in[64], uint8_t out[64]) {
-  const int32_t* m = aan_prescale().m;
+  // Routed through the runtime kernel dispatch table: the scalar
+  // reference below, or a bit-exact vector tier (media::KernelDispatch).
+  detail::kernel_ops()->idct8x8(in, aan_prescale().m, out, 8);
+}
+
+}  // namespace media::jpeg
+
+namespace media::detail {
+
+// The scalar fixed-point AAN IDCT: the bit-exactness reference every
+// vector tier must match (and their per-block overflow fallback beyond
+// kSimdIdctMaxCoef).
+void idct8x8_scalar(const int16_t in[64], const int32_t prescale[64],
+                    uint8_t* out, int stride) {
+  const int32_t* m = prescale;
   int32_t ws[64];
   int64_t v[8];
 
@@ -523,14 +786,14 @@ void idct_block_fixed(const int16_t in[64], uint8_t out[64]) {
       for (int r = 0; r < 8; ++r) ws[r * 8 + c] = dc;
       continue;
     }
-    aan_pass(static_cast<int64_t>(in[c]) * m[c],
-             static_cast<int64_t>(in[8 + c]) * m[8 + c],
-             static_cast<int64_t>(in[16 + c]) * m[16 + c],
-             static_cast<int64_t>(in[24 + c]) * m[24 + c],
-             static_cast<int64_t>(in[32 + c]) * m[32 + c],
-             static_cast<int64_t>(in[40 + c]) * m[40 + c],
-             static_cast<int64_t>(in[48 + c]) * m[48 + c],
-             static_cast<int64_t>(in[56 + c]) * m[56 + c], v);
+    jpeg::aan_pass(static_cast<int64_t>(in[c]) * m[c],
+                   static_cast<int64_t>(in[8 + c]) * m[8 + c],
+                   static_cast<int64_t>(in[16 + c]) * m[16 + c],
+                   static_cast<int64_t>(in[24 + c]) * m[24 + c],
+                   static_cast<int64_t>(in[32 + c]) * m[32 + c],
+                   static_cast<int64_t>(in[40 + c]) * m[40 + c],
+                   static_cast<int64_t>(in[48 + c]) * m[48 + c],
+                   static_cast<int64_t>(in[56 + c]) * m[56 + c], v);
     for (int r = 0; r < 8; ++r)
       ws[r * 8 + c] = static_cast<int32_t>(
           (v[r] + (1 << (kAanPass1Shift - 1))) >> kAanPass1Shift);
@@ -539,8 +802,8 @@ void idct_block_fixed(const int16_t in[64], uint8_t out[64]) {
   // Pass 2: rows, then descale, level-shift, clamp.
   for (int r = 0; r < 8; ++r) {
     const int32_t* w = ws + r * 8;
-    aan_pass(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], v);
-    uint8_t* o = out + r * 8;
+    jpeg::aan_pass(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], v);
+    uint8_t* o = out + r * stride;
     for (int x = 0; x < 8; ++x) {
       int p = static_cast<int>((v[x] + (1 << (kAanFinalShift - 1))) >>
                                kAanFinalShift) +
@@ -550,9 +813,13 @@ void idct_block_fixed(const int16_t in[64], uint8_t out[64]) {
   }
 }
 
+}  // namespace media::detail
+
+namespace media::jpeg {
+
 support::Status decode_to_coefficients_into(const uint8_t* data, size_t size,
-                                            CoeffImage* out,
-                                            HuffmanImpl impl) {
+                                            CoeffImage* out, HuffmanImpl impl,
+                                            int workers) {
   if (size < 4 || data[0] != 0xff || data[1] != kSOI)
     return bad("missing SOI marker");
 
@@ -709,6 +976,12 @@ support::Status decode_to_coefficients_into(const uint8_t* data, size_t size,
   const int mcus_y = (height + 8 * v_max - 1) / (8 * v_max);
 
   img.comps.resize(comps.size());
+  // A buffer growing from empty is value-initialized by the resize, so
+  // decode need not zero blocks again; a reused buffer (streaming MJPEG
+  // decode) skips the multi-megabyte cold memset + page-fault pass here
+  // and is instead zeroed block-by-block as decode reaches it, where the
+  // store is cache-hot.
+  bool zero_blocks = false;
   for (size_t i = 0; i < comps.size(); ++i) {
     const FrameComponent& c = comps[i];
     if (!quant_present[static_cast<size_t>(c.quant_id)])
@@ -720,20 +993,31 @@ support::Status decode_to_coefficients_into(const uint8_t* data, size_t size,
     plane_dims(img.format, width, height, static_cast<int>(i), &pw, &ph);
     cp.width = pw;
     cp.height = ph;
-    // Size only; decode_scan zeroes each block as it reaches it, so a
-    // reused buffer (streaming MJPEG decode) skips the multi-megabyte
-    // cold memset + page-fault pass that would otherwise dominate.
+    if (!cp.blocks.empty()) zero_blocks = true;
     cp.blocks.resize(
         static_cast<size_t>(cp.blocks_w) * static_cast<size_t>(cp.blocks_h));
   }
 
   // --- entropy decode ---
   if (impl == HuffmanImpl::kLookupTable) {
+    // Restart-parallel path: only for well-formed restart layouts (the
+    // prescan proves every delimiter is in place); anything else decodes
+    // serially so malformed streams keep their exact serial error text.
+    if (workers > 1 && restart_interval > 0 && mcus_x * mcus_y > 1) {
+      std::vector<RestartSegment> segs;
+      if (prescan_restart_segments(data, size, scan_start, mcus_x * mcus_y,
+                                   restart_interval, &segs) &&
+          segs.size() > 1) {
+        return decode_scan_restart_parallel(data, size, comps, quant_tables,
+                                            dc_tables, ac_tables, mcus_x,
+                                            segs, workers, img, zero_blocks);
+      }
+    }
     FastBitReader br(data, size);
     br.set_pos(scan_start);
     support::Status st =
         decode_scan(br, comps, quant_tables, dc_tables, ac_tables, mcus_x,
-                    mcus_y, restart_interval, img);
+                    mcus_y, restart_interval, img, zero_blocks);
     if (!st.is_ok()) return st;
     if (!br.at_trailing_marker(kEOI))
       return bad("entropy data not terminated by EOI");
@@ -742,7 +1026,7 @@ support::Status decode_to_coefficients_into(const uint8_t* data, size_t size,
     br.set_pos(scan_start);
     support::Status st =
         decode_scan(br, comps, quant_tables, dc_tables, ac_tables, mcus_x,
-                    mcus_y, restart_interval, img);
+                    mcus_y, restart_interval, img, zero_blocks);
     if (!st.is_ok()) return st;
     if (!br.at_trailing_marker(kEOI))
       return bad("entropy data not terminated by EOI");
@@ -752,9 +1036,11 @@ support::Status decode_to_coefficients_into(const uint8_t* data, size_t size,
 
 support::Result<CoeffImage> decode_to_coefficients(const uint8_t* data,
                                                    size_t size,
-                                                   HuffmanImpl impl) {
+                                                   HuffmanImpl impl,
+                                                   int workers) {
   CoeffImage img;
-  support::Status st = decode_to_coefficients_into(data, size, &img, impl);
+  support::Status st =
+      decode_to_coefficients_into(data, size, &img, impl, workers);
   if (!st.is_ok()) return st;
   return img;
 }
@@ -784,16 +1070,27 @@ void idct_component(const CoeffPlane& comp, PlaneView out, int block_row0,
     }
     return;
   }
+  // Hoist the dispatch-table fetch out of the block loop, and let
+  // interior blocks write the plane directly (stride = plane stride);
+  // only blocks clipped by the right/bottom plane edge stage through a
+  // packed 64-byte buffer.
+  const detail::KernelOps* ops = detail::kernel_ops();
+  const int32_t* prescale = aan_prescale().m;
   uint8_t pixels[64];
   for (int by = block_row0; by < block_row1; ++by) {
     const int y_end = std::min(8, comp.height - by * 8);
     if (y_end <= 0) continue;
+    uint8_t* row0 = out.row(by * 8);
     for (int bx = 0; bx < comp.blocks_w; ++bx) {
       const int x_end = std::min(8, comp.width - bx * 8);
       if (x_end <= 0) continue;  // padding block right of the plane
-      idct_block_fixed(
-          comp.blocks[static_cast<size_t>(by) * comp.blocks_w + bx].data(),
-          pixels);
+      const int16_t* block =
+          comp.blocks[static_cast<size_t>(by) * comp.blocks_w + bx].data();
+      if (x_end == 8 && y_end == 8) {
+        ops->idct8x8(block, prescale, row0 + bx * 8, out.stride);
+        continue;
+      }
+      ops->idct8x8(block, prescale, pixels, 8);
       for (int y = 0; y < y_end; ++y)
         std::memcpy(out.row(by * 8 + y) + bx * 8, pixels + y * 8,
                     static_cast<size_t>(x_end));

@@ -1,14 +1,20 @@
 #include "media/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
+#include "media/kernels_simd.hpp"
+#include "support/cpu.hpp"
+
 // Hot-path structure: every kernel splits border columns/rows from the
-// interior so the inner loops run clamp-free on hoisted row pointers.
-// All variants must stay bit-identical to the straightforward scalar
-// formulation (tests/test_kernels_equiv.cpp pins them against unoptimized
-// references); the `*_cycles` companions model the simulated core and are
-// independent of these host-side optimizations (docs/PERF.md).
+// interior so the inner loops run clamp-free on hoisted row pointers;
+// the interiors themselves go through the KernelOps dispatch table
+// (scalar / SSE2 / AVX2 / NEON, kernels_simd.hpp). All tiers must stay
+// bit-identical to the straightforward scalar formulation
+// (tests/test_kernels_equiv.cpp pins them against unoptimized references
+// and against each other); the `*_cycles` companions model the simulated
+// core and are independent of these host-side choices (docs/PERF.md).
 
 namespace media {
 namespace {
@@ -16,10 +22,6 @@ namespace {
 inline int clampi(int v, int lo, int hi) {
   return v < lo ? lo : (v > hi ? hi : v);
 }
-
-// sigma = 1 Gaussian taps in 8.8 fixed point, normalized to sum 256.
-const int16_t kTaps3[3] = {70, 116, 70};
-const int16_t kTaps5[5] = {16, 62, 100, 62, 16};
 
 inline uint8_t mix(uint8_t fg, uint8_t bg, int alpha256) {
   int v = (fg * alpha256 + bg * (256 - alpha256) + 128) >> 8;
@@ -51,7 +53,189 @@ inline void blur_h_border(const uint8_t* in, uint8_t* out, int x0, int x1,
   }
 }
 
+// ---- scalar row kernels (the reference tier) --------------------------------
+
+void blur_h3_row_scalar(const uint8_t* in, uint8_t* out, int w) {
+  const int t0 = detail::kBlurTaps3[0], t1 = detail::kBlurTaps3[1],
+            t2 = detail::kBlurTaps3[2];
+  for (int x = 1; x < w - 1; ++x) {
+    int acc = 128 + t0 * in[x - 1] + t1 * in[x] + t2 * in[x + 1];
+    out[x] = static_cast<uint8_t>(acc >> 8);
+  }
+}
+
+void blur_h5_row_scalar(const uint8_t* in, uint8_t* out, int w) {
+  const int t0 = detail::kBlurTaps5[0], t1 = detail::kBlurTaps5[1],
+            t2 = detail::kBlurTaps5[2], t3 = detail::kBlurTaps5[3],
+            t4 = detail::kBlurTaps5[4];
+  for (int x = 2; x < w - 2; ++x) {
+    int acc = 128 + t0 * in[x - 2] + t1 * in[x - 1] + t2 * in[x] +
+              t3 * in[x + 1] + t4 * in[x + 2];
+    out[x] = static_cast<uint8_t>(acc >> 8);
+  }
+}
+
+void blur_v3_row_scalar(const uint8_t* ra, const uint8_t* rb,
+                        const uint8_t* rc, uint8_t* out, int w) {
+  const int t0 = detail::kBlurTaps3[0], t1 = detail::kBlurTaps3[1],
+            t2 = detail::kBlurTaps3[2];
+  for (int x = 0; x < w; ++x) {
+    int acc = 128 + t0 * ra[x] + t1 * rb[x] + t2 * rc[x];
+    out[x] = static_cast<uint8_t>(acc >> 8);
+  }
+}
+
+void blur_v5_row_scalar(const uint8_t* ra, const uint8_t* rb,
+                        const uint8_t* rc, const uint8_t* rd,
+                        const uint8_t* re, uint8_t* out, int w) {
+  const int t0 = detail::kBlurTaps5[0], t1 = detail::kBlurTaps5[1],
+            t2 = detail::kBlurTaps5[2], t3 = detail::kBlurTaps5[3],
+            t4 = detail::kBlurTaps5[4];
+  for (int x = 0; x < w; ++x) {
+    int acc = 128 + t0 * ra[x] + t1 * rb[x] + t2 * rc[x] + t3 * rd[x] +
+              t4 * re[x];
+    out[x] = static_cast<uint8_t>(acc >> 8);
+  }
+}
+
+void down2_row_scalar(const uint8_t* a, const uint8_t* b, uint8_t* out,
+                      int n) {
+  for (int x = 0; x < n; ++x) {
+    unsigned sum = static_cast<unsigned>(a[0]) + a[1] + b[0] + b[1];
+    out[x] = static_cast<uint8_t>((sum + 2) >> 2);
+    a += 2;
+    b += 2;
+  }
+}
+
+void down4_row_scalar(const uint8_t* r0, const uint8_t* r1, const uint8_t* r2,
+                      const uint8_t* r3, uint8_t* out, int n) {
+  for (int x = 0; x < n; ++x) {
+    unsigned sum = 0;
+    for (int i = 0; i < 4; ++i)
+      sum += static_cast<unsigned>(r0[i]) + r1[i] + r2[i] + r3[i];
+    out[x] = static_cast<uint8_t>((sum + 8) >> 4);
+    r0 += 4;
+    r1 += 4;
+    r2 += 4;
+    r3 += 4;
+  }
+}
+
+void blend_row_scalar(const uint8_t* src, uint8_t* dst, int n, int alpha256) {
+  for (int x = 0; x < n; ++x) dst[x] = mix(src[x], dst[x], alpha256);
+}
+
+void down2_blend_row_scalar(const uint8_t* a, const uint8_t* b, uint8_t* dst,
+                            int n, int alpha256) {
+  for (int x = 0; x < n; ++x) {
+    unsigned sum = static_cast<unsigned>(a[0]) + a[1] + b[0] + b[1];
+    uint8_t v = static_cast<uint8_t>((sum + 2) >> 2);
+    dst[x] = mix(v, dst[x], alpha256);
+    a += 2;
+    b += 2;
+  }
+}
+
+const detail::KernelOps kScalarOps = {
+    KernelDispatch::kScalar,
+    "scalar",
+    &blur_h3_row_scalar,
+    &blur_h5_row_scalar,
+    &blur_v3_row_scalar,
+    &blur_v5_row_scalar,
+    &down2_row_scalar,
+    &down4_row_scalar,
+    &blend_row_scalar,
+    &down2_blend_row_scalar,
+    &detail::idct8x8_scalar,
+};
+
+// ---- dispatch state ---------------------------------------------------------
+
+std::atomic<KernelDispatch> g_policy{KernelDispatch::kAuto};
+std::atomic<const detail::KernelOps*> g_ops{nullptr};
+
+// Table for an explicit tier, or nullptr when the build or this host
+// (with the HINCH_FORCE_SCALAR override) cannot run it.
+const detail::KernelOps* resolve(KernelDispatch d) {
+  const support::CpuFeatures& f = support::cpu_features();
+  switch (d) {
+    case KernelDispatch::kScalar:
+      return &kScalarOps;
+    case KernelDispatch::kSse2:
+      return f.sse2 ? detail::sse2_ops() : nullptr;
+    case KernelDispatch::kAvx2:
+      return f.avx2 ? detail::avx2_ops() : nullptr;
+    case KernelDispatch::kNeon:
+      return f.neon ? detail::neon_ops() : nullptr;
+    case KernelDispatch::kAuto: {
+      if (f.avx2)
+        if (const detail::KernelOps* t = detail::avx2_ops()) return t;
+      if (f.neon)
+        if (const detail::KernelOps* t = detail::neon_ops()) return t;
+      if (f.sse2)
+        if (const detail::KernelOps* t = detail::sse2_ops()) return t;
+      return &kScalarOps;
+    }
+  }
+  return &kScalarOps;
+}
+
 }  // namespace
+
+namespace detail {
+
+const KernelOps* scalar_ops() { return &kScalarOps; }
+
+const KernelOps* kernel_ops() {
+  const KernelOps* t = g_ops.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // First use: resolve the current policy. Racing first calls resolve
+    // to the same table, so the blind store is idempotent.
+    t = resolve(g_policy.load(std::memory_order_relaxed));
+    if (t == nullptr) t = &kScalarOps;
+    g_ops.store(t, std::memory_order_release);
+  }
+  return t;
+}
+
+}  // namespace detail
+
+void set_kernel_dispatch(KernelDispatch dispatch) {
+  const detail::KernelOps* t = resolve(dispatch);
+  if (t == nullptr) t = &kScalarOps;  // requested tier unavailable
+  g_policy.store(dispatch, std::memory_order_relaxed);
+  g_ops.store(t, std::memory_order_release);
+}
+
+KernelDispatch kernel_dispatch() {
+  return g_policy.load(std::memory_order_relaxed);
+}
+
+KernelDispatch active_kernel_dispatch() { return detail::kernel_ops()->tier; }
+
+bool kernel_dispatch_available(KernelDispatch dispatch) {
+  if (dispatch == KernelDispatch::kAuto) return true;
+  const detail::KernelOps* t = resolve(dispatch);
+  return t != nullptr && t->tier == dispatch;
+}
+
+const char* kernel_dispatch_name(KernelDispatch dispatch) {
+  switch (dispatch) {
+    case KernelDispatch::kAuto:
+      return "auto";
+    case KernelDispatch::kScalar:
+      return "scalar";
+    case KernelDispatch::kSse2:
+      return "sse2";
+    case KernelDispatch::kAvx2:
+      return "avx2";
+    case KernelDispatch::kNeon:
+      return "neon";
+  }
+  return "?";
+}
 
 // ---- copy ----------------------------------------------------------------
 
@@ -84,38 +268,17 @@ void downscale_box(ConstPlaneView src, PlaneView dst, int factor, int row0,
       std::memcpy(dst.row(y), src.row(y), static_cast<size_t>(dst.width));
     return;
   }
+  const detail::KernelOps* ops = detail::kernel_ops();
   if (factor == 2) {
-    for (int y = row0; y < row1; ++y) {
-      const uint8_t* a = src.row(y * 2);
-      const uint8_t* b = src.row(y * 2 + 1);
-      uint8_t* out = dst.row(y);
-      for (int x = 0; x < dst.width; ++x) {
-        unsigned sum = static_cast<unsigned>(a[0]) + a[1] + b[0] + b[1];
-        out[x] = static_cast<uint8_t>((sum + 2) >> 2);
-        a += 2;
-        b += 2;
-      }
-    }
+    for (int y = row0; y < row1; ++y)
+      ops->down2_row(src.row(y * 2), src.row(y * 2 + 1), dst.row(y),
+                     dst.width);
     return;
   }
   if (factor == 4) {
-    for (int y = row0; y < row1; ++y) {
-      const uint8_t* r0 = src.row(y * 4);
-      const uint8_t* r1 = src.row(y * 4 + 1);
-      const uint8_t* r2 = src.row(y * 4 + 2);
-      const uint8_t* r3 = src.row(y * 4 + 3);
-      uint8_t* out = dst.row(y);
-      for (int x = 0; x < dst.width; ++x) {
-        unsigned sum = 0;
-        for (int i = 0; i < 4; ++i)
-          sum += static_cast<unsigned>(r0[i]) + r1[i] + r2[i] + r3[i];
-        out[x] = static_cast<uint8_t>((sum + 8) >> 4);
-        r0 += 4;
-        r1 += 4;
-        r2 += 4;
-        r3 += 4;
-      }
-    }
+    for (int y = row0; y < row1; ++y)
+      ops->down4_row(src.row(y * 4), src.row(y * 4 + 1), src.row(y * 4 + 2),
+                     src.row(y * 4 + 3), dst.row(y), dst.width);
     return;
   }
   for (int y = row0; y < row1; ++y) {
@@ -143,11 +306,11 @@ void blend(ConstPlaneView fg, PlaneView dst, int dst_x, int dst_y,
   int x_end = std::min(dst_x + fg.width, dst.width);
   const int n = x_end - x_begin;
   if (n <= 0) return;
+  const detail::KernelOps* ops = detail::kernel_ops();
   for (int y = y_begin; y < y_end; ++y) {
     const uint8_t* src_row = fg.row(y - dst_y) + (x_begin - dst_x);
     uint8_t* dst_row = dst.row(y) + x_begin;
-    for (int x = 0; x < n; ++x)
-      dst_row[x] = mix(src_row[x], dst_row[x], alpha256);
+    ops->blend_row(src_row, dst_row, n, alpha256);
   }
 }
 
@@ -174,28 +337,19 @@ void downscale_blend(ConstPlaneView src, PlaneView dst, int factor, int dst_x,
   int x_end = std::min(dst_x + out_w, dst.width);
   if (x_end <= x_begin) return;
   const int n = x_end - x_begin;
+  const detail::KernelOps* ops = detail::kernel_ops();
   if (factor == 1) {
-    for (int y = y_begin; y < y_end; ++y) {
-      const uint8_t* src_row = src.row(y - dst_y) + (x_begin - dst_x);
-      uint8_t* dst_row = dst.row(y) + x_begin;
-      for (int x = 0; x < n; ++x)
-        dst_row[x] = mix(src_row[x], dst_row[x], alpha256);
-    }
+    for (int y = y_begin; y < y_end; ++y)
+      ops->blend_row(src.row(y - dst_y) + (x_begin - dst_x),
+                     dst.row(y) + x_begin, n, alpha256);
     return;
   }
   if (factor == 2) {
     for (int y = y_begin; y < y_end; ++y) {
       const int sy = (y - dst_y) * 2;
-      const uint8_t* a = src.row(sy) + (x_begin - dst_x) * 2;
-      const uint8_t* b = src.row(sy + 1) + (x_begin - dst_x) * 2;
-      uint8_t* dst_row = dst.row(y);
-      for (int x = x_begin; x < x_end; ++x) {
-        unsigned sum = static_cast<unsigned>(a[0]) + a[1] + b[0] + b[1];
-        uint8_t v = static_cast<uint8_t>((sum + 2) >> 2);
-        dst_row[x] = mix(v, dst_row[x], alpha256);
-        a += 2;
-        b += 2;
-      }
+      ops->down2_blend_row(src.row(sy) + (x_begin - dst_x) * 2,
+                           src.row(sy + 1) + (x_begin - dst_x) * 2,
+                           dst.row(y) + x_begin, n, alpha256);
     }
     return;
   }
@@ -222,7 +376,7 @@ uint64_t downscale_blend_cycles(int out_width, int out_rows, int factor) {
 const int16_t* gaussian_taps(int kernel_size) {
   SUP_CHECK_MSG(kernel_size == 3 || kernel_size == 5,
                 "only 3x3 and 5x5 Gaussian kernels are provided");
-  return kernel_size == 3 ? kTaps3 : kTaps5;
+  return kernel_size == 3 ? detail::kBlurTaps3 : detail::kBlurTaps5;
 }
 
 void blur_h(ConstPlaneView src, PlaneView dst, int kernel_size, int row0,
@@ -238,31 +392,22 @@ void blur_h(ConstPlaneView src, PlaneView dst, int kernel_size, int row0,
       blur_h_border(src.row(y), dst.row(y), 0, w, taps, r, w);
     return;
   }
+  const detail::KernelOps* ops = detail::kernel_ops();
   if (kernel_size == 3) {
-    const int t0 = kTaps3[0], t1 = kTaps3[1], t2 = kTaps3[2];
     for (int y = row0; y < row1; ++y) {
       const uint8_t* in = src.row(y);
       uint8_t* out = dst.row(y);
       blur_h_border(in, out, 0, 1, taps, r, w);
-      for (int x = 1; x < w - 1; ++x) {
-        int acc = 128 + t0 * in[x - 1] + t1 * in[x] + t2 * in[x + 1];
-        out[x] = static_cast<uint8_t>(acc >> 8);
-      }
+      ops->blur_h3_row(in, out, w);
       blur_h_border(in, out, w - 1, w, taps, r, w);
     }
     return;
   }
-  const int t0 = kTaps5[0], t1 = kTaps5[1], t2 = kTaps5[2], t3 = kTaps5[3],
-            t4 = kTaps5[4];
   for (int y = row0; y < row1; ++y) {
     const uint8_t* in = src.row(y);
     uint8_t* out = dst.row(y);
     blur_h_border(in, out, 0, 2, taps, r, w);
-    for (int x = 2; x < w - 2; ++x) {
-      int acc = 128 + t0 * in[x - 2] + t1 * in[x - 1] + t2 * in[x] +
-                t3 * in[x + 1] + t4 * in[x + 2];
-      out[x] = static_cast<uint8_t>(acc >> 8);
-    }
+    ops->blur_h5_row(in, out, w);
     blur_h_border(in, out, w - 2, w, taps, r, w);
   }
 }
@@ -275,37 +420,20 @@ void blur_v(ConstPlaneView src, PlaneView dst, int kernel_size, int row0,
   row1 = clampi(row1, 0, dst.height);
   const int w = dst.width;
   const int hmax = src.height - 1;
+  const detail::KernelOps* ops = detail::kernel_ops();
   // Row pointers are clamped once per output row (border rows reuse the
   // edge row), so the per-pixel loop is clamp-free for every row.
   if (kernel_size == 3) {
-    const int t0 = kTaps3[0], t1 = kTaps3[1], t2 = kTaps3[2];
-    for (int y = row0; y < row1; ++y) {
-      const uint8_t* ra = src.row(clampi(y - 1, 0, hmax));
-      const uint8_t* rb = src.row(y);
-      const uint8_t* rc = src.row(clampi(y + 1, 0, hmax));
-      uint8_t* out = dst.row(y);
-      for (int x = 0; x < w; ++x) {
-        int acc = 128 + t0 * ra[x] + t1 * rb[x] + t2 * rc[x];
-        out[x] = static_cast<uint8_t>(acc >> 8);
-      }
-    }
+    for (int y = row0; y < row1; ++y)
+      ops->blur_v3_row(src.row(clampi(y - 1, 0, hmax)), src.row(y),
+                       src.row(clampi(y + 1, 0, hmax)), dst.row(y), w);
     return;
   }
-  const int t0 = kTaps5[0], t1 = kTaps5[1], t2 = kTaps5[2], t3 = kTaps5[3],
-            t4 = kTaps5[4];
-  for (int y = row0; y < row1; ++y) {
-    const uint8_t* ra = src.row(clampi(y - 2, 0, hmax));
-    const uint8_t* rb = src.row(clampi(y - 1, 0, hmax));
-    const uint8_t* rc = src.row(y);
-    const uint8_t* rd = src.row(clampi(y + 1, 0, hmax));
-    const uint8_t* re = src.row(clampi(y + 2, 0, hmax));
-    uint8_t* out = dst.row(y);
-    for (int x = 0; x < w; ++x) {
-      int acc = 128 + t0 * ra[x] + t1 * rb[x] + t2 * rc[x] + t3 * rd[x] +
-                t4 * re[x];
-      out[x] = static_cast<uint8_t>(acc >> 8);
-    }
-  }
+  for (int y = row0; y < row1; ++y)
+    ops->blur_v5_row(src.row(clampi(y - 2, 0, hmax)),
+                     src.row(clampi(y - 1, 0, hmax)), src.row(y),
+                     src.row(clampi(y + 1, 0, hmax)),
+                     src.row(clampi(y + 2, 0, hmax)), dst.row(y), w);
 }
 
 uint64_t blur_cycles(int width, int rows, int kernel_size) {

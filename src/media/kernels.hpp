@@ -14,6 +14,42 @@
 
 namespace media {
 
+// ---- runtime kernel dispatch ----------------------------------------------
+//
+// Every pixel kernel below (and the fixed-point AAN IDCT in jpeg.hpp)
+// routes its inner row loops through one of several implementation
+// tiers, selected once at runtime — the same reference-retention pattern
+// as HuffmanImpl/IdctImpl, extended to vector instruction sets. The
+// scalar tier is the bit-exactness reference; every vector tier must
+// produce byte-identical output (tests/test_kernels_equiv.cpp pins this
+// across ragged widths and borders). See docs/PERF.md ("dispatch
+// ladder").
+enum class KernelDispatch {
+  kAuto,    // probe support::cpu_features() and take the best tier
+  kScalar,  // portable reference (also forced by HINCH_FORCE_SCALAR)
+  kSse2,    // 128-bit x86
+  kAvx2,    // 256-bit x86
+  kNeon,    // 128-bit AArch64
+};
+
+// Select the tier. kAuto resolves through support::cpu_features(), which
+// honours HINCH_FORCE_SCALAR; explicitly requesting a tier the host (or
+// the build) lacks falls back to scalar. Thread-safe; intended to be set
+// at startup or between runs, not concurrently with kernel calls.
+void set_kernel_dispatch(KernelDispatch dispatch);
+
+// The policy as last set (default kAuto).
+KernelDispatch kernel_dispatch();
+
+// The tier actually executing (never kAuto).
+KernelDispatch active_kernel_dispatch();
+
+// True when requesting `dispatch` would run that tier (compiled in and
+// supported by this host, with the HINCH_FORCE_SCALAR override applied).
+bool kernel_dispatch_available(KernelDispatch dispatch);
+
+const char* kernel_dispatch_name(KernelDispatch dispatch);
+
 // ---- copy ----------------------------------------------------------------
 
 void copy_plane(ConstPlaneView src, PlaneView dst, int row0, int row1);

@@ -136,11 +136,13 @@ support::Result<MjpegClip> MjpegClip::load(const std::string& path) {
 }
 
 support::Result<MjpegClip> MjpegClip::encode(const RawVideo& video,
-                                             int quality) {
+                                             int quality,
+                                             int restart_interval) {
   MjpegClip clip;
   for (int i = 0; i < video.frame_count(); ++i) {
-    SUP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
-                         jpeg::encode(*video.frame(i), quality));
+    SUP_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> bytes,
+        jpeg::encode(*video.frame(i), quality, restart_interval));
     clip.frames_.push_back(std::move(bytes));
   }
   return clip;

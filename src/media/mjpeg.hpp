@@ -61,8 +61,11 @@ class MjpegClip {
   static support::Result<MjpegClip> load(const std::string& path);
 
   // Encode every frame of a raw clip at the given quality.
+  // restart_interval > 0 emits restart markers every that many MCUs per
+  // frame, making the entropy stream splittable for parallel decode.
   static support::Result<MjpegClip> encode(const RawVideo& video,
-                                           int quality);
+                                           int quality,
+                                           int restart_interval = 0);
 
  private:
   std::vector<std::vector<uint8_t>> frames_;

@@ -339,21 +339,22 @@ TEST(HuffmanEngines, BothRejectTruncationAtEveryPoint) {
 }
 
 TEST(HuffmanEngines, LookupTableAgreesWithCanonicalWalk) {
-  // Every 8-bit prefix either resolves to the same (symbol, length) the
-  // canonical min/max-code walk finds, or is marked as needing the slow
-  // path (code longer than 8 bits).
+  // Every kLookupBits-wide prefix either resolves to the same
+  // (symbol, length) the canonical min/max-code walk finds, or is marked
+  // as needing the slow path (code longer than kLookupBits).
+  constexpr int kBits = media::jpeg::HuffDecodeTable::kLookupBits;
   for (auto spec : {media::jpeg::std_dc_luma(), media::jpeg::std_ac_luma(),
                     media::jpeg::std_dc_chroma(),
                     media::jpeg::std_ac_chroma()}) {
     auto t = media::jpeg::build_decode_table(spec.bits, spec.values,
                                              spec.value_count);
     ASSERT_TRUE(t.valid);
-    for (int idx = 0; idx < 256; ++idx) {
-      // Canonical walk over the 8 prefix bits.
+    for (int idx = 0; idx < (1 << kBits); ++idx) {
+      // Canonical walk over the prefix bits.
       int sym = -1, len = -1;
       int32_t code = 0;
-      for (int l = 1; l <= 8; ++l) {
-        code = (code << 1) | ((idx >> (8 - l)) & 1);
+      for (int l = 1; l <= kBits; ++l) {
+        code = (code << 1) | ((idx >> (kBits - l)) & 1);
         if (t.max_code[static_cast<size_t>(l)] >= 0 &&
             code <= t.max_code[static_cast<size_t>(l)]) {
           sym = t.values[static_cast<size_t>(
@@ -475,6 +476,238 @@ TEST(FixedIdct, RoundTripPsnrMatchesFloatReference) {
   double psnr_float = media::psnr(*original, *fl);
   EXPECT_GT(psnr_fixed, 33.0);
   EXPECT_LT(std::abs(psnr_fixed - psnr_float), 0.1);
+}
+
+// --- vector tier bit-exactness ----------------------------------------------
+//
+// Every compiled-in vector tier must reproduce the scalar tier byte for
+// byte — not within a tolerance — across ragged widths (SIMD tails),
+// borders, every alpha, and the full coefficient range of the IDCT
+// (including the overflow guard's scalar fallback above
+// |coef| > 1536).
+
+// RAII: pin a tier for one test, restore kAuto for everything after.
+class DispatchGuard {
+ public:
+  explicit DispatchGuard(media::KernelDispatch d) {
+    media::set_kernel_dispatch(d);
+  }
+  ~DispatchGuard() {
+    media::set_kernel_dispatch(media::KernelDispatch::kAuto);
+  }
+};
+
+std::vector<media::KernelDispatch> available_vector_tiers() {
+  std::vector<media::KernelDispatch> out;
+  for (auto d : {media::KernelDispatch::kSse2, media::KernelDispatch::kAvx2,
+                 media::KernelDispatch::kNeon})
+    if (media::kernel_dispatch_available(d)) out.push_back(d);
+  return out;
+}
+
+constexpr int kRaggedWidths[] = {1, 2, 3, 5, 8, 15, 16, 17, 31, 33, 64, 127};
+
+TEST(VectorTiers, DispatchStateIsSane) {
+  EXPECT_TRUE(
+      media::kernel_dispatch_available(media::KernelDispatch::kScalar));
+  EXPECT_NE(media::active_kernel_dispatch(), media::KernelDispatch::kAuto);
+  {
+    DispatchGuard g(media::KernelDispatch::kScalar);
+    EXPECT_EQ(media::active_kernel_dispatch(),
+              media::KernelDispatch::kScalar);
+  }
+  EXPECT_EQ(media::kernel_dispatch(), media::KernelDispatch::kAuto);
+  // Requesting an unavailable tier must run scalar, not crash.
+  for (auto d : {media::KernelDispatch::kSse2, media::KernelDispatch::kAvx2,
+                 media::KernelDispatch::kNeon}) {
+    if (media::kernel_dispatch_available(d)) continue;
+    DispatchGuard g(d);
+    EXPECT_EQ(media::active_kernel_dispatch(),
+              media::KernelDispatch::kScalar);
+  }
+}
+
+TEST(VectorTiers, BlurBitExactAcrossRaggedWidths) {
+  for (auto tier : available_vector_tiers()) {
+    for (int w : kRaggedWidths) {
+      const int h = 9;
+      FramePtr src = synth_gray(800 + static_cast<uint64_t>(w), w, h);
+      for (int k : {3, 5}) {
+        Frame ref(PixelFormat::kGray, w, h), opt(PixelFormat::kGray, w, h);
+        {
+          DispatchGuard g(media::KernelDispatch::kScalar);
+          media::blur_h(src->plane(0), ref.plane(0), k, 0, h);
+        }
+        {
+          DispatchGuard g(tier);
+          media::blur_h(src->plane(0), opt.plane(0), k, 0, h);
+        }
+        EXPECT_TRUE(ref.equals(opt))
+            << media::kernel_dispatch_name(tier) << " blur_h k=" << k
+            << " w=" << w;
+        {
+          DispatchGuard g(media::KernelDispatch::kScalar);
+          media::blur_v(src->plane(0), ref.plane(0), k, 0, h);
+        }
+        {
+          DispatchGuard g(tier);
+          media::blur_v(src->plane(0), opt.plane(0), k, 0, h);
+        }
+        EXPECT_TRUE(ref.equals(opt))
+            << media::kernel_dispatch_name(tier) << " blur_v k=" << k
+            << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(VectorTiers, DownscaleBitExactAcrossRaggedWidths) {
+  for (auto tier : available_vector_tiers()) {
+    for (int w : kRaggedWidths) {
+      const int h = 12;
+      FramePtr src = synth_gray(820 + static_cast<uint64_t>(w), w, h);
+      for (int factor : {2, 4}) {
+        int dw = w / factor, dh = h / factor;
+        if (dw == 0 || dh == 0) continue;
+        Frame ref(PixelFormat::kGray, dw, dh),
+            opt(PixelFormat::kGray, dw, dh);
+        {
+          DispatchGuard g(media::KernelDispatch::kScalar);
+          media::downscale_box(src->plane(0), ref.plane(0), factor, 0, dh);
+        }
+        {
+          DispatchGuard g(tier);
+          media::downscale_box(src->plane(0), opt.plane(0), factor, 0, dh);
+        }
+        EXPECT_TRUE(ref.equals(opt))
+            << media::kernel_dispatch_name(tier) << " factor=" << factor
+            << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(VectorTiers, BlendBitExactAcrossAlphasAndOffsets) {
+  for (auto tier : available_vector_tiers()) {
+    for (int w : kRaggedWidths) {
+      FramePtr fg = synth_gray(840 + static_cast<uint64_t>(w), w, 7);
+      FramePtr canvas = synth_gray(841, 131, 17);
+      for (int alpha : {0, 7, 128, 255, 256}) {
+        for (int dx : {-3, 0, 2, 100}) {
+          FramePtr ref = canvas->clone();
+          FramePtr opt = canvas->clone();
+          {
+            DispatchGuard g(media::KernelDispatch::kScalar);
+            media::blend(fg->plane(0), ref->plane(0), dx, 3, alpha, 0, 17);
+          }
+          {
+            DispatchGuard g(tier);
+            media::blend(fg->plane(0), opt->plane(0), dx, 3, alpha, 0, 17);
+          }
+          EXPECT_TRUE(ref->equals(*opt))
+              << media::kernel_dispatch_name(tier) << " w=" << w
+              << " alpha=" << alpha << " dx=" << dx;
+        }
+      }
+    }
+  }
+}
+
+TEST(VectorTiers, FusedDownscaleBlendBitExact) {
+  for (auto tier : available_vector_tiers()) {
+    for (int w : kRaggedWidths) {
+      FramePtr src = synth_gray(860 + static_cast<uint64_t>(w), w * 2, 14);
+      FramePtr canvas = synth_gray(861, 131, 17);
+      for (int alpha : {0, 7, 128, 255, 256}) {
+        FramePtr ref = canvas->clone();
+        FramePtr opt = canvas->clone();
+        {
+          DispatchGuard g(media::KernelDispatch::kScalar);
+          media::downscale_blend(src->plane(0), ref->plane(0), 2, 1, 2,
+                                 alpha, 0, 17);
+        }
+        {
+          DispatchGuard g(tier);
+          media::downscale_blend(src->plane(0), opt->plane(0), 2, 1, 2,
+                                 alpha, 0, 17);
+        }
+        EXPECT_TRUE(ref->equals(*opt))
+            << media::kernel_dispatch_name(tier) << " w=" << w
+            << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(VectorTiers, IdctBitExactIncludingOverflowGuard) {
+  std::mt19937 rng(41);
+  for (auto tier : available_vector_tiers()) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      int16_t in[64] = {};
+      // Magnitude tiers: the physically plausible range, the exact guard
+      // boundary, and far beyond it (forces the in-kernel scalar
+      // fallback) — plus sparse blocks, including the shapes the vector
+      // kernels special-case (zero rows 4-7, zero columns 4-7, and
+      // their top-left-quadrant intersection).
+      int mode = trial % 7;
+      int mag = mode == 0 ? 1023 : (mode == 1 ? 1536 : 32767);
+      std::uniform_int_distribution<int> d(-mag, mag);
+      std::uniform_int_distribution<int> dv(-1536, 1536);
+      if (mode == 3) {
+        std::uniform_int_distribution<int> pos(0, 63);
+        for (int i = 0; i < 6; ++i)
+          in[pos(rng)] = static_cast<int16_t>(dv(rng));
+      } else if (mode == 4) {  // rows 4-7 zero
+        for (int i = 0; i < 32; ++i) in[i] = static_cast<int16_t>(dv(rng));
+      } else if (mode == 5) {  // columns 4-7 zero
+        for (int y = 0; y < 8; ++y)
+          for (int x = 0; x < 4; ++x)
+            in[y * 8 + x] = static_cast<int16_t>(dv(rng));
+      } else if (mode == 6) {  // top-left 4x4 quadrant only
+        for (int y = 0; y < 4; ++y)
+          for (int x = 0; x < 4; ++x)
+            in[y * 8 + x] = static_cast<int16_t>(dv(rng));
+      } else {
+        for (int i = 0; i < 64; ++i) in[i] = static_cast<int16_t>(d(rng));
+      }
+      uint8_t ref[64], opt[64];
+      {
+        DispatchGuard g(media::KernelDispatch::kScalar);
+        media::jpeg::idct_block_fixed(in, ref);
+      }
+      {
+        DispatchGuard g(tier);
+        media::jpeg::idct_block_fixed(in, opt);
+      }
+      for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(ref[i], opt[i])
+            << media::kernel_dispatch_name(tier) << " trial " << trial
+            << " i=" << i;
+    }
+  }
+}
+
+TEST(VectorTiers, FullDecodeBitExactVsScalar) {
+  // End to end: a real decode (entropy + IDCT over every plane) must not
+  // move a single pixel between tiers.
+  media::SynthSpec spec{.seed = 900, .width = 136, .height = 104,
+                        .format = PixelFormat::kYuv420};
+  auto bytes = media::jpeg::encode(*media::make_synth_frame(spec, 1), 85);
+  ASSERT_TRUE(bytes.is_ok());
+  FramePtr ref;
+  {
+    DispatchGuard g(media::KernelDispatch::kScalar);
+    auto r = media::jpeg::decode(bytes.value().data(), bytes.value().size());
+    ASSERT_TRUE(r.is_ok());
+    ref = std::move(r).take();
+  }
+  for (auto tier : available_vector_tiers()) {
+    DispatchGuard g(tier);
+    auto r = media::jpeg::decode(bytes.value().data(), bytes.value().size());
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_TRUE(ref->equals(*r.value()))
+        << media::kernel_dispatch_name(tier);
+  }
 }
 
 }  // namespace
