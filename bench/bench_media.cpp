@@ -270,6 +270,27 @@ void bench_kernels() {
     add_row("downscale_blend_f2_vs_simd2pass", base, opt,
             "1080p plane, fused vs dispatched 2-pass");
   }
+
+  // Same discipline for the fused separable blur: blur_hv vs its own
+  // dispatched blur_h-into-scratch + blur_v composition. The fused win
+  // is the elided full-plane intermediate (the ring stays in L1);
+  // main() gates this row at >= 1.0x like the downscale_blend one.
+  {
+    const int k = 5;
+    media::Frame scratch(media::PixelFormat::kGray, w, h);
+    media::PlaneView sp = scratch.plane(0);
+    auto [base, opt] = best_ms_pair(
+        40,
+        [&] {
+          media::blur_h(src->plane(0), sp, k, 0, h);
+          media::blur_v(media::ConstPlaneView{sp.data, sp.width, sp.height,
+                                              sp.stride},
+                        dst.plane(0), k, 0, h);
+        },
+        [&] { media::blur_hv(src->plane(0), dst.plane(0), k, 0, h); });
+    add_row("blur_hv_k5_vs_2pass", base, opt,
+            "1080p plane, fused vs dispatched 2-pass");
+  }
 }
 
 // --- end-to-end MJPEG throughput (wall clock, thread executor) --------------
@@ -360,6 +381,12 @@ int main(int argc, char** argv) {
   if (fused < 1.0) {
     std::printf("FAIL: downscale_blend_f2 fused %.2fx slower than its "
                 "dispatched 2-pass composition\n", fused);
+    return 1;
+  }
+  double fused_blur = g_report.speedup_of("blur_hv_k5_vs_2pass");
+  if (fused_blur < 1.0) {
+    std::printf("FAIL: blur_hv fused %.2fx slower than its dispatched "
+                "2-pass composition\n", fused_blur);
     return 1;
   }
   std::printf("OK\n");

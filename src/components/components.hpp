@@ -35,6 +35,31 @@
 //   idct           in:"coeffs" out:"out"
 //                                  IDCT of component `plane` into a gray
 //                                  frame. Sliced by block rows.
+//
+// Fused-loop classes (synthesized by the fuse-kernels pass from the
+// chains listed in standard_fusions(); also usable directly):
+//
+//   jpeg_decode_planes
+//                  in:"jpeg" out:"y","u","v"
+//                                  jpeg_decode + three idcts in one
+//                                  component; the CoeffImage is private
+//                                  scratch, never a stream packet.
+//   downscale_blend
+//                  in:"in" out:"canvas" (in-place)
+//                                  downscale + blend in one traversal
+//                                  (media::downscale_blend); the small
+//                                  frame never materializes. params:
+//                                  factor, src_plane, x, y, alpha,
+//                                  plane. Honours "pos=X,Y". Sliced by
+//                                  downscaled rows.
+//   blur_hv        in:"in" out:"out"
+//                                  Both blur passes over a
+//                                  kernel_size-row ring. Honours
+//                                  "kernel=N". Sliced by rows.
+//   idct_downscale in:"coeffs" out:"out"
+//                                  IDCT + box downscale through an
+//                                  lcm(8, factor)-row strip. params:
+//                                  plane, factor. Sliced by output rows.
 //   frame_sink     in:"in"         Consumes frames; FNV checksum, frame
 //                                  count, optional retention (store=1).
 //   yuv_sink       in:"y","u","v"  Reassembles per-plane gray frames;
@@ -56,6 +81,7 @@
 #pragma once
 
 #include "hinch/registry.hpp"
+#include "sp/fuse_kernels.hpp"
 
 namespace components {
 
@@ -64,5 +90,13 @@ void register_standard(hinch::ComponentRegistry& registry);
 
 // Idempotent registration into the global registry.
 void register_standard_globally();
+
+// The fusible chains the standard library provides fused kernels for
+// (static storage; safe to hand to sp::fuse_kernels_pass by pointer):
+//   jpeg_decode -> idct x3   =>  jpeg_decode_planes
+//   downscale -> blend       =>  downscale_blend   (slice-preserving)
+//   blur_h -> blur_v         =>  blur_hv           (slice-preserving)
+//   idct -> downscale        =>  idct_downscale    (slice-preserving)
+const sp::KernelFusionRegistry& standard_fusions();
 
 }  // namespace components

@@ -11,6 +11,7 @@ namespace components {
 void register_sources(hinch::ComponentRegistry& registry);
 void register_filters(hinch::ComponentRegistry& registry);
 void register_jpeg_stages(hinch::ComponentRegistry& registry);
+void register_fused(hinch::ComponentRegistry& registry);
 void register_sinks(hinch::ComponentRegistry& registry);
 void register_events(hinch::ComponentRegistry& registry);
 void register_adaptive(hinch::ComponentRegistry& registry);

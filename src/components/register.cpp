@@ -10,6 +10,7 @@ void register_standard(hinch::ComponentRegistry& registry) {
   register_sources(registry);
   register_filters(registry);
   register_jpeg_stages(registry);
+  register_fused(registry);
   register_sinks(registry);
   register_events(registry);
   register_adaptive(registry);

@@ -162,9 +162,17 @@ class ExecContext {
     uint64_t len;
     bool write;
   };
+  // One linear pass over the component's private scratch region. The
+  // region is sized to the largest pass; several passes model a
+  // produce-then-consume intermediate that never leaves the task (the
+  // fused decode chain writes coefficients, then reads them back).
+  struct ScratchTouch {
+    uint64_t bytes;
+    bool write;
+  };
   struct Charges {
     uint64_t compute_cycles = 0;
-    uint64_t scratch_bytes = 0;
+    std::vector<ScratchTouch> scratch;
     std::vector<Touch> touches;
   };
 
@@ -172,8 +180,15 @@ class ExecContext {
   // Memory traffic on the packet currently in the port's slot.
   void touch_read(int in_port, uint64_t offset, uint64_t len);
   void touch_write(int out_port, uint64_t offset, uint64_t len);
-  // Private working memory of the component (decode state etc.).
-  void touch_scratch(uint64_t bytes) { charges_.scratch_bytes += bytes; }
+  // Private working memory of the component (decode state etc.). Each
+  // call is one write pass over [0, bytes) of the task's scratch region;
+  // touch_scratch_read models reading an intermediate back.
+  void touch_scratch(uint64_t bytes) {
+    charges_.scratch.push_back({bytes, /*write=*/true});
+  }
+  void touch_scratch_read(uint64_t bytes) {
+    charges_.scratch.push_back({bytes, /*write=*/false});
+  }
 
   const Charges& charges() const { return charges_; }
 

@@ -145,11 +145,13 @@ class SimRun {
           t.stream_index, job.iter, t.offset + t.len);
       cost += mem_->access(core, region, t.offset, t.len, t.write);
     }
-    if (charges.scratch_bytes > 0) {
-      sim::RegionId region =
-          regions_.scratch_region(job.task, charges.scratch_bytes);
-      cost += mem_->access(core, region, 0, charges.scratch_bytes,
-                           /*write=*/true);
+    if (!charges.scratch.empty()) {
+      uint64_t scratch_bytes = 0;
+      for (const ExecContext::ScratchTouch& s : charges.scratch)
+        scratch_bytes = std::max(scratch_bytes, s.bytes);
+      sim::RegionId region = regions_.scratch_region(job.task, scratch_bytes);
+      for (const ExecContext::ScratchTouch& s : charges.scratch)
+        cost += mem_->access(core, region, 0, s.bytes, s.write);
     }
     core_busy_[static_cast<size_t>(core)] += cost;
     task_cycles_[static_cast<size_t>(job.task)] += cost;

@@ -74,12 +74,14 @@ media::FramePtr Stream::get_or_alloc_frame(int64_t iter,
     media::FramePtr f = p.frame();
     if (f->format() == fmt && f->width() == width && f->height() == height) {
       written_iter_[s] = iter;
+      max_packet_bytes_ = std::max(max_packet_bytes_, p.size_bytes());
       return f;
     }
   }
   media::FramePtr f = media::make_frame(fmt, width, height);
   p = Packet::of_frame(f);
   written_iter_[s] = iter;
+  max_packet_bytes_ = std::max(max_packet_bytes_, p.size_bytes());
   return f;
 }
 

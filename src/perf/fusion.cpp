@@ -71,6 +71,71 @@ sp::FusionAdvisor make_fusion_advisor(StreamBytes bytes, FusionModel model) {
   };
 }
 
+double dispatch_cycles_per_byte(media::KernelDispatch dispatch) {
+  if (dispatch == media::KernelDispatch::kAuto)
+    dispatch = media::active_kernel_dispatch();
+  switch (dispatch) {
+    case media::KernelDispatch::kAvx2:
+      return 1.0;  // 256-bit lanes: ~4x the scalar pixel throughput
+    case media::KernelDispatch::kSse2:
+    case media::KernelDispatch::kNeon:
+      return 2.0;  // 128-bit lanes
+    case media::KernelDispatch::kAuto:
+    case media::KernelDispatch::kScalar:
+      break;
+  }
+  return 4.0;  // the scalar reference — and the FusionModel default
+}
+
+namespace {
+
+// Issue-rate penalty of a fused loop, per cache chunk of link data: the
+// fused body keeps both stages' live values in registers at once, which
+// costs spills/restores the separate loops do not pay. Small next to
+// the L2-vs-memory delta (448 cycles/chunk on the default config), so
+// it only tips marginal candidates.
+constexpr double kFusedRegPressureCyclesPerChunk = 8.0;
+
+}  // namespace
+
+bool kernel_fusion_wins(const FusionModel& model, uint64_t link_bytes,
+                        int lost_parallelism) {
+  if (link_bytes == 0) return false;
+  const double chunks =
+      std::ceil(static_cast<double>(link_bytes) /
+                static_cast<double>(model.cache.chunk_bytes));
+  // Where do the parked packets live? Within the L2 budget the elided
+  // store+load would have been L2 traffic; overflowed, memory traffic.
+  const double parked =
+      static_cast<double>(model.window) * static_cast<double>(link_bytes);
+  const bool thrashing =
+      parked > model.l2_share * static_cast<double>(model.cache.l2_bytes);
+  const double per_chunk = static_cast<double>(
+      thrashing ? model.cache.mem_cycles_per_chunk
+                : model.cache.l2_cycles_per_chunk);
+  // One producer store pass + one consumer load pass, both elided.
+  const double saving = 2.0 * chunks * per_chunk;
+  const int par = std::max(1, std::min(model.cores, lost_parallelism));
+  const double loss =
+      kFusedRegPressureCyclesPerChunk * chunks +
+      model.cycles_per_byte * static_cast<double>(link_bytes) *
+          (1.0 - 1.0 / static_cast<double>(par));
+  return saving > loss;
+}
+
+sp::FusionAdvisor make_kernel_fusion_advisor(StreamBytes bytes,
+                                             FusionModel model) {
+  return [bytes = std::move(bytes),
+          model](const sp::FusionCandidate& cand) {
+    uint64_t link_bytes = 0;
+    for (const std::string& s : cand.link_streams) {
+      auto it = bytes.find(s);
+      if (it != bytes.end()) link_bytes += it->second;
+    }
+    return kernel_fusion_wins(model, link_bytes, cand.lost_replicas);
+  };
+}
+
 support::Result<sp::FusionAdvisor> make_fusion_advisor(
     const sp::Node& root, const hinch::ComponentRegistry& registry,
     FusionModel model) {

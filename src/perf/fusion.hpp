@@ -15,6 +15,7 @@
 #include <string>
 
 #include "hinch/registry.hpp"
+#include "media/kernels.hpp"
 #include "sim/cache.hpp"
 #include "sp/fuse.hpp"
 #include "support/status.hpp"
@@ -31,9 +32,23 @@ struct FusionModel {
   // components themselves touch.
   double l2_share = 0.5;
   // Fallback estimate of compute cycles per byte moved across the link,
-  // used to price the serialization loss of the fused chain.
+  // used to price the serialization loss of the fused chain. The scalar
+  // tier's 4.0 is the default so simulated decisions stay
+  // host-independent; dispatch_cycles_per_byte() derives the value for
+  // a vector tier when the caller wants the host's actual throughput
+  // priced in (see that function's contract).
   double cycles_per_byte = 4.0;
 };
+
+// Compute-cycles-per-byte estimate for a kernel dispatch tier: the
+// scalar reference moves ~4 cycles/byte through a pixel chain; the
+// vector tiers amortize the same work over wider lanes, so giving up
+// their parallelism costs proportionally less. kAuto resolves through
+// media::active_kernel_dispatch(). NOTE: feeding a host-derived tier
+// into FusionModel makes fusion *decisions* depend on the machine the
+// advisor ran on — fine for live tuning (the adaptation path), wrong
+// for the committed figure benches, which must keep the scalar default.
+double dispatch_cycles_per_byte(media::KernelDispatch dispatch);
 
 // Per-stream high-water packet bytes, keyed by elaborated stream name.
 using StreamBytes = std::map<std::string, uint64_t>;
@@ -55,6 +70,25 @@ bool fusion_wins(const FusionModel& model, uint64_t link_bytes,
 // Advisor over an already-measured byte map (cheap to copy per sweep
 // point; the map is shared by value).
 sp::FusionAdvisor make_fusion_advisor(StreamBytes bytes, FusionModel model);
+
+// --- loop-level (fuse-kernels) decisions ------------------------------------
+//
+// The fuse-kernels pass elides the link's packets entirely: the fused
+// loop keeps the intermediate in a strip-sized scratch, so BOTH the
+// producer's store pass and the consumer's load pass over the link
+// bytes disappear — priced at the cache level the parked packets
+// currently live at (L2 while the window's worth fits the budget,
+// memory once it overflows). Against that saving the model charges the
+// fused loop's register pressure (a per-chunk constant — wider fused
+// loops keep more live state, throttling the issue rate) and, as for
+// auto-group, the serialization loss when the rewrite forfeits slice
+// replication on a multi-core run.
+bool kernel_fusion_wins(const FusionModel& model, uint64_t link_bytes,
+                        int lost_parallelism);
+
+// Advisor for PassOptions::kernel_advisor over a measured byte map.
+sp::FusionAdvisor make_kernel_fusion_advisor(StreamBytes bytes,
+                                             FusionModel model);
 
 // Convenience: measure the graph, then wrap the result. Fails when the
 // profiling build/run fails (unknown component class etc.).

@@ -21,9 +21,19 @@ Span emit(const Node& n, DotState* s) {
   switch (n.kind()) {
     case NodeKind::kLeaf: {
       int id = s->next_id++;
-      s->out += support::format(
-          "  n%d [shape=box,label=\"%s\\n(%s)\"];\n", id,
-          n.leaf.instance.c_str(), n.leaf.klass.c_str());
+      if (n.leaf.fused_pattern.empty()) {
+        s->out += support::format(
+            "  n%d [shape=box,label=\"%s\\n(%s)\"];\n", id,
+            n.leaf.instance.c_str(), n.leaf.klass.c_str());
+      } else {
+        // A fuse-kernels synthesized leaf: show the pattern tag and mark
+        // the node so fused loops are visible in --dump-after output.
+        s->out += support::format(
+            "  n%d [shape=box,peripheries=2,label=\"%s\\n(%s)\\n[fused: "
+            "%s]\"];\n",
+            id, n.leaf.instance.c_str(), n.leaf.klass.c_str(),
+            n.leaf.fused_pattern.c_str());
+      }
       return {id, id};
     }
     case NodeKind::kSeq: {

@@ -5,13 +5,8 @@
 #include <utility>
 
 namespace sp {
-namespace {
 
-// A step can join a fused run only if scheduling its whole subtree as
-// one sequential unit is legal: options and managers need their own
-// tasks (they gate / reconfigure at run time), and crossdep regions
-// carry cross-replica dependencies the flattened order would hide.
-bool fusible(const Node& n) {
+bool fusible_subtree(const Node& n) {
   switch (n.kind()) {
     case NodeKind::kLeaf:
     case NodeKind::kGroup:
@@ -26,16 +21,11 @@ bool fusible(const Node& n) {
       break;
   }
   for (const NodePtr& c : n.children)
-    if (!fusible(*c)) return false;
+    if (!fusible_subtree(*c)) return false;
   return true;
 }
 
-struct StepIo {
-  std::vector<const Node*> leaves;  // depth-first (schedule) order
-  std::set<std::string> reads;
-  std::set<std::string> writes;
-  int max_replicas = 1;
-};
+namespace {
 
 void scan_step(const Node& n, int mult, StepIo* io) {
   if (n.kind() == NodeKind::kLeaf) {
@@ -50,11 +40,15 @@ void scan_step(const Node& n, int mult, StepIo* io) {
   for (const NodePtr& c : n.children) scan_step(*c, mult, io);
 }
 
+}  // namespace
+
 StepIo step_io(const Node& n) {
   StepIo io;
   scan_step(n, 1, &io);
   return io;
 }
+
+namespace {
 
 // Fuses runs inside `n` when it is a seq; recurses first so nested seq
 // regions (e.g. parblock bodies) get their own fusion opportunities.
@@ -66,7 +60,7 @@ void fuse_rec(Node* n, const FusionAdvisor& advisor) {
   out.reserve(n->children.size());
   size_t i = 0;
   while (i < n->children.size()) {
-    if (!fusible(*n->children[i])) {
+    if (!fusible_subtree(*n->children[i])) {
       out.push_back(std::move(n->children[i]));
       ++i;
       continue;
@@ -74,7 +68,7 @@ void fuse_rec(Node* n, const FusionAdvisor& advisor) {
     // Grow a run from step i across stream-connected fusible steps.
     StepIo run = step_io(*n->children[i]);
     size_t j = i + 1;
-    while (j < n->children.size() && fusible(*n->children[j])) {
+    while (j < n->children.size() && fusible_subtree(*n->children[j])) {
       StepIo step = step_io(*n->children[j]);
       FusionCandidate cand;
       cand.run_leaves = run.leaves;

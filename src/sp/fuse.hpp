@@ -14,6 +14,7 @@
 // cost-model-backed one lives in perf::make_fusion_advisor.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,24 @@
 #include "sp/pass.hpp"
 
 namespace sp {
+
+// Structural scan shared by auto-group and fuse-kernels: a subtree's
+// leaves in depth-first (schedule) order, its stream read/write sets,
+// and the maximum slice replication multiplying any leaf.
+struct StepIo {
+  std::vector<const Node*> leaves;
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  int max_replicas = 1;
+};
+
+StepIo step_io(const Node& n);
+
+// Whether scheduling the whole subtree as one sequential unit is legal:
+// options and managers need their own tasks (they gate / reconfigure at
+// run time), and crossdep regions carry cross-replica dependencies a
+// flattened order would hide.
+bool fusible_subtree(const Node& n);
 
 // One proposed fusion step: append `step_leaves` (the leaves of the next
 // seq step) to the run already collected in `run_leaves`. The advisor

@@ -1,0 +1,92 @@
+// The fuse-kernels pass: loop-level fusion, one level below auto-group.
+//
+// auto-group (sp/fuse.hpp) fuses stream-connected steps into a kGroup so
+// they share a core and the linking packets stay cache-warm — but each
+// member still runs its own full-frame loop and the intermediate frame
+// still materializes in the linking stream's slot. This pass goes
+// further: when the leaves of a fused run (or of adjacent seq steps)
+// match a *registered fusible pattern* — a chain of component classes
+// for which a single fused kernel exists — the chain is rewritten into
+// ONE synthesized leaf whose component executes one fused loop over a
+// strip-sized scratch. The linking streams disappear from the graph
+// entirely; their packets never materialize at all.
+//
+// Unlike auto-group, a kernel rewrite is only semantically safe under
+// structural conditions this pass checks per candidate:
+//   - every matched subtree is fusible (no options/managers/crossdep);
+//   - the chain is stream-connected (each member after the first reads
+//     something an earlier member wrote);
+//   - every internal link stream has ALL of its readers and writers
+//     inside the match — if any other consumer reads the link, the
+//     packet must still park for it and the rewrite is declined (see
+//     the multiple-readers test in tests/test_passes.cpp).
+// What a rewrite costs is the chain's parallelism (the fused leaf is
+// one task), so each candidate is additionally arbitrated by a
+// FusionAdvisor; the cost-model-backed one is
+// perf::make_kernel_fusion_advisor. Patterns marked slice_preserving
+// keep par-slice replication when the matched steps are equally-sliced
+// single-leaf parblocks (downscale->blend: blend band i reads exactly
+// foreground band i, so per-band fusion is exact).
+//
+// The registry of patterns lives with the fused components
+// (components::standard_fusions()); the sp layer only defines the
+// contract, mirroring the FusionAdvisor split.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sp/graph.hpp"
+#include "sp/pass.hpp"
+#include "support/status.hpp"
+
+namespace sp {
+
+// One fusible chain: an ordered list of component classes plus the
+// rewrite that synthesizes the fused leaf from the matched specs.
+struct KernelFusionPattern {
+  std::string name;  // annotation tag, e.g. "downscale_blend"
+  // Component classes in chain (schedule) order, e.g.
+  // {"downscale", "blend"}. A candidate matches when the depth-first
+  // leaf classes of a contiguous group-member or seq-step range equal
+  // this list exactly.
+  std::vector<std::string> klasses;
+  // Synthesize the fused LeafSpec from the matched leaves (chain
+  // order). Returning an error declines this candidate — use it for
+  // parameter combinations the fused kernel does not support (the
+  // decode-chain pattern declines IDCT planes other than {0,1,2}).
+  // The result must not bind the internal link streams.
+  std::function<support::Result<LeafSpec>(
+      const std::vector<const LeafSpec*>&)>
+      rewrite;
+  // When true and every matched seq step is a par-slice with the same
+  // replica count and a single leaf, the rewrite keeps the slicing:
+  // the fused leaf is wrapped in par-slice(n) and no parallelism is
+  // lost. Only set for kernels whose slice bands are independent.
+  bool slice_preserving = false;
+};
+
+class KernelFusionRegistry {
+ public:
+  void add(KernelFusionPattern pattern);
+  const std::vector<KernelFusionPattern>& patterns() const {
+    return patterns_;
+  }
+
+ private:
+  std::vector<KernelFusionPattern> patterns_;
+};
+
+// The pass. `patterns` may be null (the pass is then a no-op — the
+// pipeline stays well-formed even when no fused components are linked
+// in); when non-null it must outlive every run of the returned pass.
+// An empty advisor approves every structurally-safe candidate. The
+// FusionCandidate handed to the advisor maps the chain as run =
+// producers, step = final consumer, link_streams = every internalized
+// stream, lost_replicas = the slice replication the fused task gives up
+// (1 for a slice-preserving rewrite).
+Pass fuse_kernels_pass(const KernelFusionRegistry* patterns,
+                       FusionAdvisor advisor);
+
+}  // namespace sp

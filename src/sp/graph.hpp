@@ -79,6 +79,12 @@ struct LeafSpec {
   // Initial reconfiguration request delivered on creation (§3.1), empty
   // when absent.
   std::string initial_reconfig;
+  // Loop-level fusion annotation (the fuse-kernels pass): the registered
+  // pattern this leaf was synthesized from and the instances it
+  // replaced, in chain order. Empty for ordinary leaves. Carried on the
+  // leaf (and into dot dumps) so a fused graph stays auditable.
+  std::string fused_pattern;
+  std::vector<std::string> fused_from;
 };
 
 class Node;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sp/fuse.hpp"
+#include "sp/fuse_kernels.hpp"
 #include "sp/transform.hpp"
 #include "sp/validate.hpp"
 
@@ -93,6 +94,7 @@ PassOptions PassOptions::none() {
   o.strip_dead_options = false;
   o.to_sp_form = false;
   o.auto_group = false;
+  o.fuse_kernels = false;
   o.verify = false;
   return o;
 }
@@ -173,16 +175,20 @@ const std::vector<PassInfo>& registered_passes() {
        "fuse stream-connected producer->consumer chains into groups when "
        "the cost model predicts a win (section 4.1)",
        false},
+      {"fuse-kernels", fuse_kernels_pass(nullptr, {}).description, false},
   };
   return kPasses;
 }
 
 support::Result<Pass> pass_by_name(const std::string& name,
-                                   const FusionAdvisor& advisor) {
+                                   const PassOptions& options) {
   if (name == "normalize") return normalize_pass();
   if (name == "strip-dead-options") return strip_dead_options_pass();
   if (name == "to-sp-form") return to_sp_form_pass();
-  if (name == "auto-group") return auto_group_pass(advisor);
+  if (name == "auto-group") return auto_group_pass(options.advisor);
+  if (name == "fuse-kernels")
+    return fuse_kernels_pass(options.kernel_patterns,
+                             options.kernel_advisor);
   std::string known;
   for (const PassInfo& p : registered_passes()) {
     if (!known.empty()) known += ", ";
@@ -192,6 +198,13 @@ support::Result<Pass> pass_by_name(const std::string& name,
                             known + ")");
 }
 
+support::Result<Pass> pass_by_name(const std::string& name,
+                                   const FusionAdvisor& advisor) {
+  PassOptions options;
+  options.advisor = advisor;
+  return pass_by_name(name, options);
+}
+
 PassManager make_pipeline(const PassOptions& options) {
   PassManager pm;
   pm.set_verify(options.verify);
@@ -199,6 +212,9 @@ PassManager make_pipeline(const PassOptions& options) {
   if (options.strip_dead_options) pm.add(strip_dead_options_pass());
   if (options.to_sp_form) pm.add(to_sp_form_pass());
   if (options.auto_group) pm.add(auto_group_pass(options.advisor));
+  if (options.fuse_kernels)
+    pm.add(fuse_kernels_pass(options.kernel_patterns,
+                             options.kernel_advisor));
   return pm;
 }
 

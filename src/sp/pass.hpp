@@ -8,6 +8,7 @@
 //
 // Canonical order (see docs/COMPILER.md):
 //   normalize -> strip-dead-options -> [to-sp-form] -> [auto-group]
+//     -> [fuse-kernels]
 #pragma once
 
 #include <functional>
@@ -33,7 +34,8 @@ struct Pass {
 using DumpHook =
     std::function<void(const std::string& pass, const Node& graph)>;
 
-struct FusionCandidate;  // sp/fuse.hpp
+struct FusionCandidate;       // sp/fuse.hpp
+class KernelFusionRegistry;   // sp/fuse_kernels.hpp
 
 // Decides whether a fusion candidate is worth taking. The sp layer only
 // defines the contract; the cost-model-backed implementation lives in
@@ -69,6 +71,17 @@ struct PassOptions {
   // (empty advisor = fuse every candidate).
   bool auto_group = false;
   FusionAdvisor advisor;
+  // Rewrite registered component chains into single fused-loop
+  // components (loop-level fusion; runs after auto-group so it sees the
+  // groups that pass formed). `kernel_patterns` names the chains and
+  // their rewrites — typically components::standard_fusions(); it must
+  // outlive the pipeline run, and null makes the pass a no-op.
+  // `kernel_advisor` arbitrates each rewrite (empty = take every
+  // structurally-safe candidate); the cost-model-backed one is
+  // perf::make_kernel_fusion_advisor.
+  bool fuse_kernels = false;
+  const KernelFusionRegistry* kernel_patterns = nullptr;
+  FusionAdvisor kernel_advisor;
   // Run sp::validate after every pass (error names the failing pass).
   bool verify = kVerifyPassesDefault;
 
@@ -108,6 +121,9 @@ Pass strip_dead_options_pass();
 Pass to_sp_form_pass();
 // Defined in sp/fuse.cpp; an empty advisor fuses every candidate.
 Pass auto_group_pass(FusionAdvisor advisor);
+// Defined in sp/fuse_kernels.cpp (see that header for the contract).
+Pass fuse_kernels_pass(const KernelFusionRegistry* patterns,
+                       FusionAdvisor advisor);
 
 // Descriptor for `xspclc passes` and --dump-after=all.
 struct PassInfo {
@@ -119,8 +135,14 @@ struct PassInfo {
 // Every pass the pipeline knows, in canonical order.
 const std::vector<PassInfo>& registered_passes();
 
-// Look up a single pass by registered name (advisor used for
-// "auto-group"). Not-found lists the valid names.
+// Look up a single pass by registered name, drawing its configuration
+// (advisors, kernel patterns) from `options`. Not-found lists the
+// valid names.
+support::Result<Pass> pass_by_name(const std::string& name,
+                                   const PassOptions& options);
+
+// Back-compat convenience: `advisor` configures "auto-group";
+// "fuse-kernels" resolves with no patterns (a no-op pass).
 support::Result<Pass> pass_by_name(const std::string& name,
                                    const FusionAdvisor& advisor);
 

@@ -214,6 +214,35 @@ TEST(JpipApp, CostModelAdvisorPreservesOutput) {
   EXPECT_EQ(run_sim_checksum(*prog.value(), config.frames, 1), seq.checksum);
 }
 
+TEST(JpipApp, FuseKernelsVariantProducesIdenticalOutput) {
+  // The loop-level fusion pass on the PLAIN spec, every candidate
+  // forced: the decode chain collapses to jpeg_decode_planes and each
+  // downscale->blend pair to a downscale_blend, and the output must
+  // stay bit-identical to the hand-written decoder — fused loops that
+  // move a pixel are bugs, not wins.
+  JpipConfig config = small_jpip(1);
+  apps::SeqResult seq = apps::run_jpip_sequential(config);
+  components::register_standard_globally();
+  hinch::Program::BuildConfig build_config;
+  build_config.passes.fuse_kernels = true;
+  build_config.passes.kernel_patterns = &components::standard_fusions();
+  build_config.passes.kernel_advisor = [](const sp::FusionCandidate&) {
+    return true;
+  };
+  auto prog = xspcl::build_program(apps::jpip_xspcl(config),
+                                   hinch::ComponentRegistry::global(),
+                                   build_config);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+  // At least the decode chain and the PiP's plane pipelines must have
+  // been rewritten into synthesized components ("a+b" instance names).
+  int rewritten = 0;
+  for (const hinch::Task& t : prog.value()->tasks())
+    if (t.label.find('+') != std::string::npos) ++rewritten;
+  EXPECT_GE(rewritten, 2);
+  EXPECT_EQ(run_sim_checksum(*prog.value(), config.frames, 1), seq.checksum);
+  EXPECT_EQ(run_sim_checksum(*prog.value(), config.frames, 3), seq.checksum);
+}
+
 TEST(JpipApp, TwoPipsMatchSequential) {
   JpipConfig config = small_jpip(2);
   apps::SeqResult seq = apps::run_jpip_sequential(config);

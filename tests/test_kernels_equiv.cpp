@@ -285,6 +285,99 @@ TEST(SliceInvariance, AllKernelsReproduceFullRangeRun) {
   }
 }
 
+// --- fused-loop kernels vs their compositions --------------------------------
+//
+// The fuse-kernels pass swaps component chains for these fused loops,
+// so each must be bit-identical to the composition it replaces — over
+// ragged sizes, any slice partition, and (for the IDCT) both impls.
+
+TEST(FusedBlurHv, MatchesTwoPassComposition) {
+  for (auto [w, h] :
+       {std::make_tuple(1, 1), std::make_tuple(3, 5), std::make_tuple(5, 4),
+        std::make_tuple(17, 9), std::make_tuple(31, 7),
+        std::make_tuple(64, 48), std::make_tuple(65, 47),
+        std::make_tuple(127, 33)}) {
+    FramePtr src = synth_gray(900 + static_cast<uint64_t>(w), w, h);
+    for (int k : {3, 5}) {
+      Frame mid(PixelFormat::kGray, w, h), ref(PixelFormat::kGray, w, h),
+          opt(PixelFormat::kGray, w, h);
+      media::blur_h(src->plane(0), mid.plane(0), k, 0, h);
+      media::blur_v(mid.plane(0), ref.plane(0), k, 0, h);
+      media::blur_hv(src->plane(0), opt.plane(0), k, 0, h);
+      EXPECT_TRUE(ref.equals(opt)) << "k=" << k << " " << w << "x" << h;
+    }
+  }
+}
+
+TEST(FusedBlurHv, SliceInvariant) {
+  // Any row partition must reproduce the full run: the ring's halo
+  // recomputation at slice boundaries has to match the 2-pass borders.
+  const int w = 53, h = 37;
+  FramePtr src = synth_gray(910, w, h);
+  for (int slices : {1, 2, 3, 7, h}) {
+    for (int k : {3, 5}) {
+      Frame full(PixelFormat::kGray, w, h), sliced(PixelFormat::kGray, w, h);
+      expect_slice_invariant(
+          h, slices,
+          [&](Frame& d, int r0, int r1) {
+            media::blur_hv(src->plane(0), d.plane(0), k, r0, r1);
+          },
+          full, sliced);
+    }
+  }
+}
+
+TEST(FusedIdctDownscale, MatchesCompositionBothImpls) {
+  media::SynthSpec spec{.seed = 920, .width = 88, .height = 56,
+                        .format = PixelFormat::kGray};
+  auto bytes = media::jpeg::encode(*media::make_synth_frame(spec, 0), 80);
+  ASSERT_TRUE(bytes.is_ok());
+  auto coeffs = media::jpeg::decode_to_coefficients(bytes.value().data(),
+                                                    bytes.value().size());
+  ASSERT_TRUE(coeffs.is_ok());
+  const media::jpeg::CoeffPlane& y = coeffs.value().comps[0];
+  for (auto impl : {media::jpeg::IdctImpl::kFixedPoint,
+                    media::jpeg::IdctImpl::kFloatReference}) {
+    Frame full(PixelFormat::kGray, y.width, y.height);
+    media::jpeg::idct_component(y, full.plane(0), 0, y.blocks_h, impl);
+    for (int factor : {1, 2, 3, 4}) {
+      const int ow = y.width / factor, oh = y.height / factor;
+      Frame ref(PixelFormat::kGray, ow, oh), opt(PixelFormat::kGray, ow, oh);
+      media::downscale_box(full.plane(0), ref.plane(0), factor, 0, oh);
+      media::jpeg::idct_downscale(y, opt.plane(0), factor, 0, oh, impl);
+      EXPECT_TRUE(ref.equals(opt)) << "factor=" << factor << " impl="
+                                   << static_cast<int>(impl);
+    }
+  }
+}
+
+TEST(FusedIdctDownscale, SliceInvariant) {
+  // Strips align to the lcm(8, factor) grid, so any destination-row
+  // partition — including single rows — must be bit-identical to the
+  // whole run.
+  media::SynthSpec spec{.seed = 921, .width = 96, .height = 72,
+                        .format = PixelFormat::kGray};
+  auto bytes = media::jpeg::encode(*media::make_synth_frame(spec, 1), 85);
+  ASSERT_TRUE(bytes.is_ok());
+  auto coeffs = media::jpeg::decode_to_coefficients(bytes.value().data(),
+                                                    bytes.value().size());
+  ASSERT_TRUE(coeffs.is_ok());
+  const media::jpeg::CoeffPlane& y = coeffs.value().comps[0];
+  for (int factor : {2, 3, 4}) {
+    const int oh = y.height / factor;
+    for (int slices : {2, 5, oh}) {
+      Frame full(PixelFormat::kGray, y.width / factor, oh),
+          sliced(PixelFormat::kGray, y.width / factor, oh);
+      expect_slice_invariant(
+          oh, slices,
+          [&](Frame& d, int r0, int r1) {
+            media::jpeg::idct_downscale(y, d.plane(0), factor, r0, r1);
+          },
+          full, sliced);
+    }
+  }
+}
+
 // --- Huffman engine equivalence ---------------------------------------------
 
 TEST(HuffmanEngines, TableDrivenMatchesBitSerial) {

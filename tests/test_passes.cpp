@@ -8,6 +8,7 @@
 
 #include "perf/fusion.hpp"
 #include "sp/fuse.hpp"
+#include "sp/fuse_kernels.hpp"
 #include "sp/graph.hpp"
 #include "sp/pass.hpp"
 #include "sp/validate.hpp"
@@ -234,7 +235,7 @@ TEST(PassManager, DumpHookFiresAfterEveryPassInOrder) {
 
 TEST(PassRegistry, RegisteredPassesInCanonicalOrder) {
   const std::vector<sp::PassInfo>& passes = sp::registered_passes();
-  ASSERT_EQ(passes.size(), 4u);
+  ASSERT_EQ(passes.size(), 5u);
   EXPECT_EQ(passes[0].name, "normalize");
   EXPECT_TRUE(passes[0].default_on);
   EXPECT_EQ(passes[1].name, "strip-dead-options");
@@ -243,10 +244,12 @@ TEST(PassRegistry, RegisteredPassesInCanonicalOrder) {
   EXPECT_FALSE(passes[2].default_on);
   EXPECT_EQ(passes[3].name, "auto-group");
   EXPECT_FALSE(passes[3].default_on);
+  EXPECT_EQ(passes[4].name, "fuse-kernels");
+  EXPECT_FALSE(passes[4].default_on);
 }
 
 TEST(PassRegistry, UnknownPassNameListsTheRegisteredOnes) {
-  auto res = sp::pass_by_name("bogus", {});
+  auto res = sp::pass_by_name("bogus", sp::PassOptions());
   ASSERT_FALSE(res.is_ok());
   EXPECT_EQ(res.status().code(), support::Code::kNotFound);
   EXPECT_NE(res.status().message().find("normalize"), std::string::npos);
@@ -255,7 +258,7 @@ TEST(PassRegistry, UnknownPassNameListsTheRegisteredOnes) {
 
 TEST(PassRegistry, EveryRegisteredNameResolves) {
   for (const sp::PassInfo& info : sp::registered_passes()) {
-    auto res = sp::pass_by_name(info.name, {});
+    auto res = sp::pass_by_name(info.name, sp::PassOptions());
     ASSERT_TRUE(res.is_ok()) << info.name;
     EXPECT_EQ(res.value().name, info.name);
   }
@@ -405,6 +408,167 @@ TEST(AutoGroupPass, FusesInsideParblockBodies) {
   EXPECT_TRUE(sp::validate(*root).is_ok());
 }
 
+// --- fuse-kernels -------------------------------------------------------------
+
+// A registry with one fusible chain, k_mid -> k_sink: the fused leaf
+// takes mid's inputs and sink's outputs and drops the internal link.
+sp::KernelFusionRegistry mid_sink_registry(bool slice_preserving = false,
+                                           bool rewrite_fails = false) {
+  sp::KernelFusionRegistry reg;
+  sp::KernelFusionPattern p;
+  p.name = "mid_sink";
+  p.klasses = {"k_mid", "k_sink"};
+  p.slice_preserving = slice_preserving;
+  p.rewrite = [rewrite_fails](const std::vector<const sp::LeafSpec*>& chain)
+      -> support::Result<LeafSpec> {
+    if (rewrite_fails)
+      return support::invalid_argument("unsupported parameters");
+    LeafSpec fused;
+    fused.instance = chain.front()->instance + "+" + chain.back()->instance;
+    fused.klass = "k_fused";
+    fused.inputs = chain.front()->inputs;
+    fused.outputs = chain.back()->outputs;
+    return fused;
+  };
+  reg.add(std::move(p));
+  return reg;
+}
+
+sp::PassOptions fuse_kernels_only(const sp::KernelFusionRegistry& reg,
+                                  sp::FusionAdvisor advisor = {}) {
+  sp::PassOptions o = sp::PassOptions::none();
+  o.fuse_kernels = true;
+  o.kernel_patterns = &reg;
+  o.kernel_advisor = std::move(advisor);
+  return o;
+}
+
+TEST(FuseKernelsPass, RewritesAdjacentSeqStepsAndAnnotates) {
+  sp::KernelFusionRegistry reg = mid_sink_registry();
+  NodePtr root = run_pipeline(simple_chain(), fuse_kernels_only(reg));
+  ASSERT_TRUE(root);
+  // seq(src, mid, sink) -> seq(src, mid+sink); the "b" link is gone.
+  ASSERT_EQ(root->children.size(), 2u);
+  const sp::Node& fused = *root->children[1];
+  ASSERT_EQ(fused.kind(), NodeKind::kLeaf);
+  EXPECT_EQ(fused.leaf.klass, "k_fused");
+  EXPECT_EQ(fused.leaf.fused_pattern, "mid_sink");
+  EXPECT_EQ(fused.leaf.fused_from,
+            (std::vector<std::string>{"mid", "sink"}));
+  bool saw_b = false;
+  sp::visit(*root, [&](const sp::Node& n) {
+    if (n.kind() != NodeKind::kLeaf) return;
+    for (const auto& b : n.leaf.inputs) saw_b |= b.stream == "b";
+    for (const auto& b : n.leaf.outputs) saw_b |= b.stream == "b";
+  });
+  EXPECT_FALSE(saw_b);
+  EXPECT_TRUE(sp::validate(*root).is_ok())
+      << sp::validate(*root).to_string();
+}
+
+TEST(FuseKernelsPass, RewritesPatternInsideAutoGroupedRun) {
+  // auto-group first fuses the whole chain into one kGroup; the kernel
+  // matcher must still find the k_mid -> k_sink subsequence among the
+  // group members and rewrite just those two.
+  sp::KernelFusionRegistry reg = mid_sink_registry();
+  sp::PassOptions o = fuse_kernels_only(reg);
+  o.auto_group = true;
+  NodePtr root = run_pipeline(simple_chain(), o);
+  ASSERT_TRUE(root);
+  ASSERT_EQ(root->children.size(), 1u);
+  const sp::Node& group = *root->children[0];
+  ASSERT_EQ(group.kind(), NodeKind::kGroup);
+  ASSERT_EQ(group.children.size(), 2u);
+  EXPECT_EQ(group.children[0]->leaf.instance, "src");
+  EXPECT_EQ(group.children[1]->leaf.fused_pattern, "mid_sink");
+  EXPECT_TRUE(sp::validate(*root).is_ok());
+}
+
+TEST(FuseKernelsPass, MultipleReadersOnLinkStreamDecline) {
+  // A spy also reads the internal "b" link: eliding the packet would
+  // starve it, so the rewrite must be declined and the graph unchanged.
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("src", "", "a")));
+  steps.push_back(sp::make_leaf(leaf("mid", "a", "b")));
+  steps.push_back(sp::make_leaf(leaf("sink", "b", "")));
+  steps.push_back(sp::make_leaf(leaf("spy", "b", "")));
+  NodePtr root = sp::make_seq(std::move(steps));
+  ASSERT_TRUE(sp::validate(*root).is_ok());
+  sp::KernelFusionRegistry reg = mid_sink_registry();
+  root = run_pipeline(std::move(root), fuse_kernels_only(reg));
+  ASSERT_TRUE(root);
+  EXPECT_EQ(leaf_names(*root),
+            (std::vector<std::string>{"src", "mid", "sink", "spy"}));
+}
+
+TEST(FuseKernelsPass, DecliningAdvisorLeavesChain) {
+  sp::KernelFusionRegistry reg = mid_sink_registry();
+  NodePtr root = run_pipeline(
+      simple_chain(),
+      fuse_kernels_only(reg,
+                        [](const sp::FusionCandidate&) { return false; }));
+  ASSERT_TRUE(root);
+  EXPECT_EQ(leaf_names(*root),
+            (std::vector<std::string>{"src", "mid", "sink"}));
+}
+
+TEST(FuseKernelsPass, RewriteErrorDeclinesSilently) {
+  // The rewrite hook rejecting a parameter combination is not a pipeline
+  // failure — the candidate is skipped and the chain kept as-is.
+  sp::KernelFusionRegistry reg =
+      mid_sink_registry(/*slice_preserving=*/false, /*rewrite_fails=*/true);
+  NodePtr root = run_pipeline(simple_chain(), fuse_kernels_only(reg));
+  ASSERT_TRUE(root);
+  EXPECT_EQ(leaf_names(*root),
+            (std::vector<std::string>{"src", "mid", "sink"}));
+}
+
+TEST(FuseKernelsPass, SlicePreservingPatternKeepsReplication) {
+  // par-slice(3){mid} -> par-slice(3){sink} with a slice-preserving
+  // pattern: the fused leaf keeps the par-slice(3) wrapper and the
+  // advisor sees lost_replicas == 1 (nothing forfeited).
+  auto sliced_step = [](LeafSpec spec) {
+    std::vector<NodePtr> parblocks;
+    parblocks.push_back(sp::make_leaf(std::move(spec)));
+    return sp::make_par(ParShape::kSlice, 3, std::move(parblocks));
+  };
+  std::vector<NodePtr> steps;
+  steps.push_back(sp::make_leaf(leaf("src", "", "a")));
+  steps.push_back(sliced_step(leaf("mid", "a", "b")));
+  steps.push_back(sliced_step(leaf("sink", "b", "")));
+  NodePtr root = sp::make_seq(std::move(steps));
+  ASSERT_TRUE(sp::validate(*root).is_ok());
+
+  sp::KernelFusionRegistry reg =
+      mid_sink_registry(/*slice_preserving=*/true);
+  int lost = -1;
+  root = run_pipeline(std::move(root),
+                      fuse_kernels_only(reg,
+                                        [&](const sp::FusionCandidate& c) {
+                                          lost = c.lost_replicas;
+                                          return true;
+                                        }));
+  ASSERT_TRUE(root);
+  EXPECT_EQ(lost, 1);
+  ASSERT_EQ(root->children.size(), 2u);
+  const sp::Node& par = *root->children[1];
+  ASSERT_EQ(par.kind(), NodeKind::kPar);
+  EXPECT_EQ(par.shape, ParShape::kSlice);
+  EXPECT_EQ(par.replicas, 3);
+  EXPECT_EQ(leaf_names(par), std::vector<std::string>{"mid+sink"});
+  EXPECT_TRUE(sp::validate(*root).is_ok())
+      << sp::validate(*root).to_string();
+}
+
+TEST(FuseKernelsPass, NullRegistryIsANoOp) {
+  sp::PassOptions o = sp::PassOptions::none();
+  o.fuse_kernels = true;  // no kernel_patterns set
+  NodePtr root = run_pipeline(simple_chain(), o);
+  ASSERT_TRUE(root);
+  EXPECT_EQ(leaf_names(*root),
+            (std::vector<std::string>{"src", "mid", "sink"}));
+}
+
 // --- the perf cost model ------------------------------------------------------
 
 TEST(FusionModel, DeclinesWhenLinkFitsInL2Share) {
@@ -458,6 +622,84 @@ TEST(FusionModel, AdvisorSumsMeasuredLinkBytes) {
   sp::FusionCandidate unknown;
   unknown.link_streams = {"never_measured"};
   EXPECT_FALSE(advisor(unknown));
+}
+
+// --- the loop-level (fuse-kernels) cost model ---------------------------------
+
+TEST(KernelFusionModel, DeclinesEmptyLink) {
+  perf::FusionModel model;
+  model.cores = 1;
+  EXPECT_FALSE(perf::kernel_fusion_wins(model, 0, 1));
+}
+
+TEST(KernelFusionModel, ElidedPassesWinAtOneCoreEvenWithinL2) {
+  // Unlike auto-group, eliding the link saves even when the parked
+  // packets fit the L2 budget: the store+load passes were still L2
+  // traffic, and at one core nothing is forfeited. 1 MiB link, window 5:
+  // parked 5 MiB < 8 MiB budget, saving 2*1024 chunks * 192 cyc beats
+  // the 8 cyc/chunk register-pressure charge.
+  perf::FusionModel model;
+  model.cores = 1;
+  EXPECT_TRUE(perf::kernel_fusion_wins(model, 1 << 20, 1));
+}
+
+TEST(KernelFusionModel, SerializationLossDeclinesOnManyCores) {
+  // Forfeiting a 4-way slice on 4 cores prices in 3/4 of the chain's
+  // compute (4 cyc/byte scalar) — far more than the elided passes save,
+  // thrashing or not.
+  perf::FusionModel model;
+  model.cores = 4;
+  EXPECT_FALSE(perf::kernel_fusion_wins(model, 1 << 20, 4));
+  EXPECT_FALSE(perf::kernel_fusion_wins(model, 4 << 20, 4));
+  // A slice-preserving rewrite (lost_parallelism == 1) forfeits nothing
+  // and wins regardless of core count.
+  EXPECT_TRUE(perf::kernel_fusion_wins(model, 4 << 20, 1));
+}
+
+TEST(KernelFusionModel, VectorTiersShrinkTheSerializationLoss) {
+  // Same candidate, cheaper cycles/byte: the forfeited compute costs
+  // less, so a faster dispatch tier can flip a marginal decline to a
+  // win. At 1.0 cyc/byte (AVX2): loss = 8*4096 + 4 MiB * 0.75 =
+  // ~3.18 Mcyc vs saving 2*4096*640 = ~5.24 Mcyc (thrashing).
+  perf::FusionModel model;
+  model.cores = 4;
+  model.cycles_per_byte = perf::dispatch_cycles_per_byte(
+      media::KernelDispatch::kAvx2);
+  EXPECT_TRUE(perf::kernel_fusion_wins(model, 4 << 20, 4));
+}
+
+TEST(KernelFusionModel, AdvisorDeclinesUnmeasuredStreams) {
+  perf::StreamBytes bytes;
+  bytes["hot"] = 1 << 20;
+  perf::FusionModel model;
+  model.cores = 1;
+  sp::FusionAdvisor advisor =
+      perf::make_kernel_fusion_advisor(bytes, model);
+  sp::FusionCandidate hot;
+  hot.link_streams = {"hot"};
+  EXPECT_TRUE(advisor(hot));
+  sp::FusionCandidate unknown;
+  unknown.link_streams = {"never_measured"};
+  EXPECT_FALSE(advisor(unknown));
+}
+
+TEST(DispatchCyclesPerByte, TierPins) {
+  // The scalar reference is the FusionModel default; vector tiers scale
+  // with lane width. These are contract pins — the committed figure
+  // benches depend on the scalar default staying put.
+  EXPECT_EQ(perf::dispatch_cycles_per_byte(media::KernelDispatch::kScalar),
+            4.0);
+  EXPECT_EQ(perf::dispatch_cycles_per_byte(media::KernelDispatch::kSse2),
+            2.0);
+  EXPECT_EQ(perf::dispatch_cycles_per_byte(media::KernelDispatch::kNeon),
+            2.0);
+  EXPECT_EQ(perf::dispatch_cycles_per_byte(media::KernelDispatch::kAvx2),
+            1.0);
+  EXPECT_EQ(perf::FusionModel{}.cycles_per_byte, 4.0);
+  // kAuto resolves through the active dispatch, never returns a value
+  // for "auto" itself.
+  EXPECT_EQ(perf::dispatch_cycles_per_byte(media::KernelDispatch::kAuto),
+            perf::dispatch_cycles_per_byte(media::active_kernel_dispatch()));
 }
 
 }  // namespace

@@ -22,8 +22,10 @@
 // Spec-taking subcommands accept --passes=a,b,c to replace the default
 // SP-IR pipeline (normalize, strip-dead-options) and --dump-after=
 // <pass|all> to write after-<pass>.dot for the named pass(es). The
-// auto-group pass prices its fusions with the perf cost model at
-// --cores=N.
+// auto-group and fuse-kernels passes price their fusions with the perf
+// cost model at --cores=N; fuse-kernels rewrites chains registered in
+// components::standard_fusions(). Listing fuse-kernels before
+// auto-group is legal but diagnosed (groups feed the kernel matcher).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -199,17 +201,45 @@ int main(int argc, char** argv) {
   if (!args.passes_given) {
     pipeline = sp::make_pipeline(sp::PassOptions{});
   } else {
-    for (const std::string& name : split_passes(args.passes)) {
-      sp::FusionAdvisor advisor;
-      if (name == "auto-group") {
-        perf::FusionModel model;
-        model.cores = std::max(1, args.cores);
-        auto adv = perf::make_fusion_advisor(
-            *owned, hinch::ComponentRegistry::global(), model);
-        if (!adv.is_ok()) return fail(adv.status());
-        advisor = std::move(adv).take();
+    std::vector<std::string> names = split_passes(args.passes);
+    // The canonical order runs fuse-kernels after auto-group (fused runs
+    // feed the kernel matcher). Honour the user's order, but say why the
+    // other one usually finds less.
+    {
+      int fuse_at = -1, group_at = -1;
+      for (int i = 0; i < static_cast<int>(names.size()); ++i) {
+        if (names[static_cast<size_t>(i)] == "fuse-kernels" && fuse_at < 0)
+          fuse_at = i;
+        if (names[static_cast<size_t>(i)] == "auto-group") group_at = i;
       }
-      auto pass = sp::pass_by_name(name, advisor);
+      if (fuse_at >= 0 && group_at >= 0 && fuse_at < group_at)
+        std::fprintf(stderr,
+                     "warning: --passes runs 'fuse-kernels' (position %d) "
+                     "before 'auto-group' (position %d); the canonical "
+                     "pipeline groups first so the kernel matcher also "
+                     "sees fused runs\n",
+                     fuse_at + 1, group_at + 1);
+    }
+    // Both fusion passes share one stream-size measurement and cost
+    // model; measure only when a pass that prices fusions is requested.
+    sp::PassOptions options = sp::PassOptions::none();
+    bool wants_fusion = false;
+    for (const std::string& name : names)
+      if (name == "auto-group" || name == "fuse-kernels")
+        wants_fusion = true;
+    if (wants_fusion) {
+      auto bytes = perf::measure_stream_slot_bytes(
+          *owned, hinch::ComponentRegistry::global());
+      if (!bytes.is_ok()) return fail(bytes.status());
+      perf::FusionModel model;
+      model.cores = std::max(1, args.cores);
+      options.advisor = perf::make_fusion_advisor(bytes.value(), model);
+      options.kernel_patterns = &components::standard_fusions();
+      options.kernel_advisor =
+          perf::make_kernel_fusion_advisor(std::move(bytes).take(), model);
+    }
+    for (const std::string& name : names) {
+      auto pass = sp::pass_by_name(name, options);
       if (!pass.is_ok()) return fail(pass.status());
       pipeline.add(std::move(pass).value());
     }
