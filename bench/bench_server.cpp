@@ -1,0 +1,369 @@
+// bench_server — multi-tenant server characterisation for the
+// session-scoped runtime (docs/RUNTIME.md, "Session lifecycle").
+//
+// Legs:
+//   throughput  N same-spec tenants, run two ways and timed end to end:
+//                 sequential — the legacy one-run-at-a-time model: every
+//                   run pays a full spec compile and its own pool
+//                   spin-up/join (what `xspclc run` did before sessions);
+//                 concurrent — one SessionExecutor + one SpecCache
+//                   constructed inside the timed region, all N tenants
+//                   admitted together (N-1 cache hits, one pool).
+//               The gate (concurrent < sequential) holds even on one
+//               core: the win is amortised compile + pool cost, with
+//               parallel overlap on top where cores exist.
+//   churn       one long-lived victim streams with per-frame timestamps
+//               while short tenants are continuously opened, half of
+//               them cancelled mid-flight, and drained. Reports the
+//               sustained sessions/sec and the victim's p50/p99/max
+//               inter-frame gap against a solo baseline.
+//               Gate: the victim retires every iteration and its worst
+//               inter-frame gap stays bounded — closing one session
+//               never stalls another tenant's stream.
+//
+// Host wall clock, not simulated cycles: admission, teardown and cache
+// behaviour are runtime properties the SpaceCAKE sim does not model.
+//
+// Usage: bench_server [--smoke] [output.json]  (default ./BENCH_server.json)
+//   --smoke   shrink the run for CI (same gates)
+#include <cinttypes>
+#include <cstring>
+#include <deque>
+
+#include "bench_util.hpp"
+#include "hinch/session.hpp"
+#include "hinch/thread_executor.hpp"
+#include "xspcl/spec_cache.hpp"
+
+namespace {
+
+bool g_smoke = false;
+
+struct ServerScale {
+  int workers = 4;
+  int tenants = 8;           // N for the throughput comparison
+  int64_t iters = 24;        // iterations per throughput tenant
+  int64_t victim_iters = 600;
+  int64_t churn_iters = 24;  // iterations per churn tenant
+  int churn_inflight = 2;    // churn tenants kept open at once
+  int reps = 3;              // best-of reps for the throughput legs
+};
+
+std::string tenant_spec(int64_t iters) {
+  apps::BlurConfig c;
+  c.width = 96;
+  c.height = 64;
+  c.frames = static_cast<int>(iters);
+  c.kernel = 5;
+  c.slices = 8;
+  c.clip_frames = 4;
+  return apps::blur_xspcl(c);
+}
+
+// One tenant on the shared executor, program built through the cache.
+hinch::SessionPtr open_session(hinch::SessionExecutor& exec,
+                               xspcl::SpecCache& cache,
+                               const std::string& spec, int64_t iters,
+                               bool record_frames) {
+  auto prog =
+      cache.build_program(spec, hinch::ComponentRegistry::global());
+  if (!prog.is_ok()) {
+    std::fprintf(stderr, "bench_server: build failed: %s\n",
+                 prog.status().to_string().c_str());
+    std::abort();
+  }
+  hinch::SessionConfig cfg;
+  cfg.run.iterations = iters;
+  cfg.run.window = 2;
+  cfg.name = "blur";
+  cfg.record_frame_times = record_frames;
+  return exec.submit(std::move(prog).take(), cfg);
+}
+
+// The legacy model: each run recompiles the spec and spins up (and
+// joins) its own worker pool via run_on_threads.
+double sequential_leg(const std::string& spec, const ServerScale& s) {
+  auto t0 = bench::WallClock::now();
+  for (int i = 0; i < s.tenants; ++i) {
+    std::unique_ptr<hinch::Program> prog = bench::build_program(spec);
+    hinch::RunConfig run;
+    run.iterations = s.iters;
+    run.window = 2;
+    hinch::run_on_threads(*prog, run, s.workers);
+  }
+  return bench::ms_since(t0);
+}
+
+double concurrent_leg(const std::string& spec, const ServerScale& s,
+                      xspcl::SpecCache::Stats* cache_stats) {
+  auto t0 = bench::WallClock::now();
+  hinch::SessionExecutor::Config pool;
+  pool.workers = s.workers;
+  hinch::SessionExecutor exec(pool);
+  xspcl::SpecCache cache;
+  std::vector<hinch::SessionPtr> sessions;
+  sessions.reserve(static_cast<size_t>(s.tenants));
+  for (int i = 0; i < s.tenants; ++i)
+    sessions.push_back(open_session(exec, cache, spec, s.iters, false));
+  for (const hinch::SessionPtr& sess : sessions) {
+    hinch::SessionResult r = sess->wait();
+    if (r.status != hinch::SessionStatus::kDone) {
+      std::fprintf(stderr, "bench_server: tenant did not complete\n");
+      std::abort();
+    }
+  }
+  exec.shutdown();
+  if (cache_stats != nullptr) *cache_stats = cache.stats();
+  return bench::ms_since(t0);
+}
+
+// Inter-frame gaps (ms) from a session's completion stamps. Iterations
+// retired in one scheduler batch share a stamp, so zero gaps are normal.
+std::vector<double> frame_gaps_ms(const hinch::SessionResult& r) {
+  std::vector<double> gaps;
+  gaps.reserve(r.frame_done_ns.size());
+  uint64_t prev = 0;
+  for (uint64_t t : r.frame_done_ns) {
+    gaps.push_back(static_cast<double>(t - prev) / 1e6);
+    prev = t;
+  }
+  return gaps;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  double pos = p * static_cast<double>(v.size() - 1);
+  size_t idx = static_cast<size_t>(pos);
+  return v[idx];
+}
+
+struct ChurnReport {
+  int opened = 0;
+  int completed = 0;
+  int cancelled = 0;
+  double wall_ms = 0;
+  double sessions_per_sec = 0;
+  xspcl::SpecCache::Stats cache;
+  hinch::SessionResult victim;
+};
+
+ChurnReport churn_leg(const std::string& victim_spec,
+                      const std::string& churn_spec,
+                      const ServerScale& s) {
+  hinch::SessionExecutor::Config pool;
+  pool.workers = s.workers;
+  hinch::SessionExecutor exec(pool);
+  xspcl::SpecCache cache;
+
+  ChurnReport rep;
+  auto t0 = bench::WallClock::now();
+  hinch::SessionPtr victim =
+      open_session(exec, cache, victim_spec, s.victim_iters, true);
+
+  // Keep a small set of churn tenants in flight until the victim
+  // finishes; every other one is cancelled mid-run so teardown of both
+  // flavours (drain-to-done and cancel-and-drop) overlaps the victim.
+  std::deque<hinch::SessionPtr> inflight;
+  while (!victim->finished() || !inflight.empty()) {
+    while (!victim->finished() &&
+           static_cast<int>(inflight.size()) < s.churn_inflight) {
+      hinch::SessionPtr c =
+          open_session(exec, cache, churn_spec, s.churn_iters, false);
+      ++rep.opened;
+      if (rep.opened % 2 == 0) exec.cancel(c);
+      inflight.push_back(std::move(c));
+    }
+    hinch::SessionResult r = inflight.front()->wait();
+    inflight.pop_front();
+    if (r.status == hinch::SessionStatus::kCancelled)
+      ++rep.cancelled;
+    else
+      ++rep.completed;
+  }
+  rep.victim = victim->wait();
+  rep.wall_ms = bench::ms_since(t0);
+  rep.sessions_per_sec = (rep.completed + rep.cancelled) /
+                         (rep.wall_ms / 1e3);
+  rep.cache = cache.stats();
+  exec.shutdown();
+  return rep;
+}
+
+void write_json(const std::string& path, const ServerScale& s,
+                double seq_ms, double conc_ms,
+                const xspcl::SpecCache::Stats& conc_cache,
+                const std::vector<double>& solo_gaps,
+                const std::vector<double>& churn_gaps,
+                const ChurnReport& churn, bool gate_throughput,
+                bool gate_no_stall) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_server: cannot open '%s'\n", path.c_str());
+    std::abort();
+  }
+  auto d = [](double v) { return support::format_double(v); };
+  std::fprintf(f, "{\n  \"bench\": \"bench_server\",\n");
+  std::fprintf(f, "  \"clock\": \"host_wall_clock\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", g_smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"scale\": {\"workers\": %d, \"tenants\": %d, "
+               "\"iters\": %" PRId64 ", \"victim_iters\": %" PRId64
+               ", \"churn_iters\": %" PRId64 "},\n",
+               s.workers, s.tenants, s.iters, s.victim_iters,
+               s.churn_iters);
+  std::fprintf(f,
+               "  \"throughput\": {\"sequential_ms\": %s, "
+               "\"concurrent_ms\": %s, \"speedup\": %s, "
+               "\"concurrent_sessions_per_sec\": %s, "
+               "\"spec_cache_hits\": %" PRIu64
+               ", \"spec_cache_misses\": %" PRIu64 "},\n",
+               d(seq_ms).c_str(), d(conc_ms).c_str(),
+               d(seq_ms / conc_ms).c_str(),
+               d(s.tenants / (conc_ms / 1e3)).c_str(), conc_cache.hits,
+               conc_cache.misses);
+  std::fprintf(f,
+               "  \"churn\": {\"opened\": %d, \"completed\": %d, "
+               "\"cancelled\": %d, \"wall_ms\": %s, "
+               "\"sessions_per_sec\": %s, \"spec_cache_hits\": %" PRIu64
+               ", \"spec_cache_misses\": %" PRIu64 "},\n",
+               churn.opened, churn.completed, churn.cancelled,
+               d(churn.wall_ms).c_str(),
+               d(churn.sessions_per_sec).c_str(), churn.cache.hits,
+               churn.cache.misses);
+  std::fprintf(f,
+               "  \"victim_frame_gap_ms\": {\"solo_p50\": %s, "
+               "\"solo_p99\": %s, \"solo_max\": %s, \"churn_p50\": %s, "
+               "\"churn_p99\": %s, \"churn_max\": %s},\n",
+               d(percentile(solo_gaps, 0.50)).c_str(),
+               d(percentile(solo_gaps, 0.99)).c_str(),
+               d(percentile(solo_gaps, 1.0)).c_str(),
+               d(percentile(churn_gaps, 0.50)).c_str(),
+               d(percentile(churn_gaps, 0.99)).c_str(),
+               d(percentile(churn_gaps, 1.0)).c_str());
+  std::fprintf(f,
+               "  \"gates\": {\"concurrent_beats_sequential\": %s, "
+               "\"close_never_stalls\": %s}\n}\n",
+               gate_throughput ? "true" : "false",
+               gate_no_stall ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      g_smoke = true;
+    else
+      out = argv[i];
+  }
+
+  ServerScale s;
+  if (g_smoke) {
+    s.tenants = 6;
+    s.iters = 12;
+    s.victim_iters = 200;
+    s.churn_iters = 12;
+    s.reps = 2;
+    std::printf("(smoke mode: reduced run, same gates)\n");
+  }
+
+  const std::string spec = tenant_spec(s.iters);
+  const std::string victim_spec = tenant_spec(s.victim_iters);
+  const std::string churn_spec = tenant_spec(s.churn_iters);
+  components::register_standard_globally();
+
+  // --- throughput: legacy sequential runs vs one multi-tenant server.
+  // Reps interleave the legs (same rationale as bench::best_ms_pair) and
+  // the best of each is reported.
+  double seq_ms = 1e300, conc_ms = 1e300;
+  xspcl::SpecCache::Stats conc_cache;
+  sequential_leg(spec, s);  // warmup (page cache, lazy init)
+  for (int rep = 0; rep < s.reps; ++rep) {
+    seq_ms = std::min(seq_ms, sequential_leg(spec, s));
+    xspcl::SpecCache::Stats stats;
+    double ms = concurrent_leg(spec, s, &stats);
+    if (ms < conc_ms) {
+      conc_ms = ms;
+      conc_cache = stats;
+    }
+  }
+  std::printf(
+      "throughput: %d tenants x %" PRId64
+      " iters  sequential %.1f ms  concurrent %.1f ms  speedup %.2fx  "
+      "(%.1f sessions/s, cache %" PRIu64 " hits / %" PRIu64 " misses)\n",
+      s.tenants, s.iters, seq_ms, conc_ms, seq_ms / conc_ms,
+      s.tenants / (conc_ms / 1e3), conc_cache.hits, conc_cache.misses);
+
+  // --- victim solo baseline for the stall gate.
+  std::vector<double> solo_gaps;
+  {
+    hinch::SessionExecutor::Config pool;
+    pool.workers = s.workers;
+    hinch::SessionExecutor exec(pool);
+    xspcl::SpecCache cache;
+    hinch::SessionPtr v =
+        open_session(exec, cache, victim_spec, s.victim_iters, true);
+    solo_gaps = frame_gaps_ms(v->wait());
+    exec.shutdown();
+  }
+
+  // --- churn: open/cancel/drain neighbours while the victim streams.
+  ChurnReport churn = churn_leg(victim_spec, churn_spec, s);
+  std::vector<double> churn_gaps = frame_gaps_ms(churn.victim);
+  std::printf(
+      "churn: %d opened (%d completed, %d cancelled) in %.1f ms = %.1f "
+      "sessions/s\n",
+      churn.opened, churn.completed, churn.cancelled, churn.wall_ms,
+      churn.sessions_per_sec);
+  std::printf(
+      "victim frame gap ms: solo p50 %.3f p99 %.3f max %.3f | churn p50 "
+      "%.3f p99 %.3f max %.3f\n",
+      percentile(solo_gaps, 0.50), percentile(solo_gaps, 0.99),
+      percentile(solo_gaps, 1.0), percentile(churn_gaps, 0.50),
+      percentile(churn_gaps, 0.99), percentile(churn_gaps, 1.0));
+
+  // --- gates ---------------------------------------------------------
+  bool gate_throughput = conc_ms < seq_ms;
+  // "Closing one session never stalls another": the victim must retire
+  // every iteration, and its worst inter-frame gap under churn must stay
+  // bounded. The bound is generous (contention on a loaded host is fine;
+  // a teardown that blocks the pool shows up as a multi-second gap or a
+  // victim that never finishes).
+  double stall_bound_ms =
+      std::max(250.0, 50.0 * percentile(solo_gaps, 0.99));
+  bool gate_no_stall =
+      churn.victim.status == hinch::SessionStatus::kDone &&
+      churn.victim.iterations_done == s.victim_iters &&
+      percentile(churn_gaps, 1.0) < stall_bound_ms;
+
+  write_json(out, s, seq_ms, conc_ms, conc_cache, solo_gaps, churn_gaps,
+             churn, gate_throughput, gate_no_stall);
+
+  bool ok = true;
+  if (!gate_throughput) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %d concurrent sessions (%.1f ms) did not "
+                 "beat %d sequential runs (%.1f ms)\n",
+                 s.tenants, conc_ms, s.tenants, seq_ms);
+    ok = false;
+  }
+  if (!gate_no_stall) {
+    std::fprintf(stderr,
+                 "GATE FAILED: victim stalled under churn (status=%s, "
+                 "iters=%" PRId64 "/%" PRId64
+                 ", max gap %.1f ms, bound %.1f ms)\n",
+                 hinch::session_status_name(churn.victim.status),
+                 churn.victim.iterations_done, s.victim_iters,
+                 percentile(churn_gaps, 1.0), stall_bound_ms);
+    ok = false;
+  }
+  std::printf("gates: concurrent_beats_sequential=%s "
+              "close_never_stalls=%s\n",
+              gate_throughput ? "pass" : "FAIL",
+              gate_no_stall ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "apps/blur.hpp"
+#include "apps/catalog.hpp"
 #include "apps/jpip.hpp"
 #include "apps/mjpeg.hpp"
 #include "apps/pip.hpp"

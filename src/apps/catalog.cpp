@@ -1,0 +1,152 @@
+#include "apps/catalog.hpp"
+
+#include <cstdlib>
+
+#include "apps/apps.hpp"
+#include "support/strings.hpp"
+
+namespace apps {
+namespace {
+
+support::Result<int> parse_int(const std::string& key,
+                               const std::string& value) {
+  char* end = nullptr;
+  long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    return support::invalid_argument(
+        support::format("catalog: %s expects an integer, got '%s'",
+                        key.c_str(), value.c_str()));
+  return static_cast<int>(v);
+}
+
+// Apply one override; true if `key` is known to this app.
+template <typename Config>
+support::Result<bool> apply_common(Config* c, const std::string& key,
+                                   const std::string& value) {
+  if (key == "width") {
+    SUP_ASSIGN_OR_RETURN(c->width, parse_int(key, value));
+  } else if (key == "height") {
+    SUP_ASSIGN_OR_RETURN(c->height, parse_int(key, value));
+  } else if (key == "frames") {
+    SUP_ASSIGN_OR_RETURN(c->frames, parse_int(key, value));
+  } else if (key == "slices") {
+    SUP_ASSIGN_OR_RETURN(c->slices, parse_int(key, value));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+support::Status unknown_key(const char* app, const std::string& key) {
+  return support::invalid_argument(
+      support::format("catalog: app '%s' has no parameter '%s'", app,
+                      key.c_str()));
+}
+
+}  // namespace
+
+const std::vector<std::string>& catalog_names() {
+  static const std::vector<std::string> names = {"pip", "jpip", "blur",
+                                                 "mjpeg"};
+  return names;
+}
+
+support::Result<std::string> builtin_xspcl(
+    const std::string& name, const std::vector<CatalogParam>& params) {
+  if (name == "pip") {
+    PipConfig c;
+    for (const auto& [key, value] : params) {
+      SUP_ASSIGN_OR_RETURN(bool common, apply_common(&c, key, value));
+      if (common) continue;
+      if (key == "pips") {
+        SUP_ASSIGN_OR_RETURN(c.pips, parse_int(key, value));
+      } else if (key == "factor") {
+        SUP_ASSIGN_OR_RETURN(c.factor, parse_int(key, value));
+      } else if (key == "reconfigurable") {
+        SUP_ASSIGN_OR_RETURN(int v, parse_int(key, value));
+        c.reconfigurable = v != 0;
+        if (c.reconfigurable && c.pips < 2) c.pips = 2;
+      } else {
+        return unknown_key("pip", key);
+      }
+    }
+    return pip_xspcl(c);
+  }
+  if (name == "jpip") {
+    JpipConfig c;
+    for (const auto& [key, value] : params) {
+      SUP_ASSIGN_OR_RETURN(bool common, apply_common(&c, key, value));
+      if (common) continue;
+      if (key == "pips") {
+        SUP_ASSIGN_OR_RETURN(c.pips, parse_int(key, value));
+      } else if (key == "factor") {
+        SUP_ASSIGN_OR_RETURN(c.factor, parse_int(key, value));
+      } else if (key == "quality") {
+        SUP_ASSIGN_OR_RETURN(c.quality, parse_int(key, value));
+      } else if (key == "grouped") {
+        SUP_ASSIGN_OR_RETURN(int v, parse_int(key, value));
+        c.grouped = v != 0;
+      } else if (key == "reconfigurable") {
+        SUP_ASSIGN_OR_RETURN(int v, parse_int(key, value));
+        c.reconfigurable = v != 0;
+      } else {
+        return unknown_key("jpip", key);
+      }
+    }
+    return jpip_xspcl(c);
+  }
+  if (name == "blur") {
+    BlurConfig c;
+    for (const auto& [key, value] : params) {
+      SUP_ASSIGN_OR_RETURN(bool common, apply_common(&c, key, value));
+      if (common) continue;
+      if (key == "kernel") {
+        SUP_ASSIGN_OR_RETURN(c.kernel, parse_int(key, value));
+      } else if (key == "reconfigurable") {
+        SUP_ASSIGN_OR_RETURN(int v, parse_int(key, value));
+        c.reconfigurable = v != 0;
+      } else {
+        return unknown_key("blur", key);
+      }
+    }
+    return blur_xspcl(c);
+  }
+  if (name == "mjpeg") {
+    MjpegDecodeConfig c;
+    for (const auto& [key, value] : params) {
+      SUP_ASSIGN_OR_RETURN(bool common, apply_common(&c, key, value));
+      if (common) continue;
+      if (key == "quality") {
+        SUP_ASSIGN_OR_RETURN(c.quality, parse_int(key, value));
+      } else if (key == "restart") {
+        SUP_ASSIGN_OR_RETURN(c.restart, parse_int(key, value));
+      } else {
+        return unknown_key("mjpeg", key);
+      }
+    }
+    return mjpeg_xspcl(c);
+  }
+  std::string known;
+  for (const std::string& n : catalog_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return support::invalid_argument(support::format(
+      "catalog: unknown app '%s' (known: %s)", name.c_str(), known.c_str()));
+}
+
+support::Result<std::vector<CatalogParam>> parse_catalog_params(
+    const std::vector<std::string>& tokens) {
+  std::vector<CatalogParam> params;
+  params.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return support::invalid_argument(support::format(
+          "catalog: expected key=value, got '%s'", tok.c_str()));
+    params.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return params;
+}
+
+}  // namespace apps

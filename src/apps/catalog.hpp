@@ -1,0 +1,37 @@
+// Named access to the built-in application specs: "pip", "jpip", "blur",
+// "mjpeg" -> XSPCL text, with a small string parameter surface.
+//
+// The multi-tenant server (tools/hinchd.cpp) and its load generator open
+// sessions by app *name* over a line protocol; this catalog is the one
+// place that maps those names (plus "key=value" parameter overrides)
+// onto the typed *_xspcl() config structs, so the server, the bench and
+// xspclc emit-app cannot drift apart on what "jpip" means.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace apps {
+
+// One "key=value" override.
+using CatalogParam = std::pair<std::string, std::string>;
+
+// Names accepted by builtin_xspcl, in stable order.
+const std::vector<std::string>& catalog_names();
+
+// The XSPCL spec for `name` with `params` applied over the app's default
+// config. Common keys: frames, slices, pips, factor, width, height,
+// reconfigurable (0/1); "kernel" (blur), "quality" (jpip/mjpeg),
+// "grouped" (jpip). Unknown names list the catalog; unknown keys or
+// non-numeric values are invalid-argument errors.
+support::Result<std::string> builtin_xspcl(
+    const std::string& name, const std::vector<CatalogParam>& params = {});
+
+// Parse "key=value" tokens (the server protocol / CLI form).
+support::Result<std::vector<CatalogParam>> parse_catalog_params(
+    const std::vector<std::string>& tokens);
+
+}  // namespace apps

@@ -8,8 +8,16 @@
 // only 8 bits, so any stream deeper than 256 slots aliased its high
 // slots onto the next stream's regions — the simulator then accounted
 // two different buffers as one, silently skewing cache statistics.
-// Depths and stream counts are bounds-checked so a regression aborts
-// instead of aliasing.
+// Depths, stream counts and stream indices are bounds-checked so a
+// regression aborts instead of aliasing.
+//
+// Multi-tenancy: the table itself is a per-owner namespace. A bare key
+// would alias across concurrent sessions (two sessions' stream 0 would
+// share a region), so each hinch::Session gets its own RegionTable over
+// the shared sim::MemorySystem, optionally labelled with the session id
+// ("session.<id>.stream:0:slot1") so per-region statistics stay
+// attributable. Single-session runs pass session_id = -1 and get the
+// unprefixed labels the figure benches snapshot.
 #pragma once
 
 #include <cstdint>
@@ -23,42 +31,61 @@ namespace hinch {
 
 class RegionTable {
  public:
-  RegionTable(sim::MemorySystem* mem, int depth) : mem_(mem), depth_(depth) {
+  RegionTable(sim::MemorySystem* mem, int depth, int session_id = -1)
+      : mem_(mem), depth_(depth), session_id_(session_id) {
     SUP_CHECK(depth >= 1);
   }
 
-  sim::RegionId stream_region(int stream_index, int64_t iter,
+  sim::RegionId stream_region(int64_t stream_index, int64_t iter,
                               uint64_t min_bytes) {
     // The label factory only runs on a table miss (first touch or a
     // size upgrade), so the per-access hot path stays allocation-free.
     return lookup(stream_regions_, stream_key(stream_index, iter), min_bytes,
                   [&] {
-                    return "stream:" + std::to_string(stream_index) +
-                           ":slot" + std::to_string(iter % depth_);
+                    return label_prefix() + "stream:" +
+                           std::to_string(stream_index) + ":slot" +
+                           std::to_string(iter % depth_);
                   });
   }
 
   sim::RegionId scratch_region(int task, uint64_t min_bytes) {
     SUP_CHECK(task >= 0);
     return lookup(scratch_regions_, static_cast<uint64_t>(task), min_bytes,
-                  [&] { return "scratch:task" + std::to_string(task); });
+                  [&] {
+                    return label_prefix() + "scratch:task" +
+                           std::to_string(task);
+                  });
   }
 
   // Exposed for tests: the packed key must be injective over
-  // (stream_index, iter % depth).
-  uint64_t stream_key(int stream_index, int64_t iter) const {
+  // (stream_index, iter % depth). Both halves are range-checked — the
+  // slot against its 32-bit field, and the stream index against 2^32
+  // (an index at or above it would shift into oblivion and alias
+  // stream index mod 2^32). The index parameter is deliberately 64-bit
+  // so the guard is a real check, not vacuous on a 32-bit int.
+  uint64_t stream_key(int64_t stream_index, int64_t iter) const {
     SUP_CHECK_MSG(stream_index >= 0, "negative stream index");
+    SUP_CHECK_MSG(static_cast<uint64_t>(stream_index) < (1ULL << 32),
+                  "stream index exceeds the key's 32-bit field");
     SUP_CHECK_MSG(iter >= 0, "negative iteration");
     uint64_t slot = static_cast<uint64_t>(iter % depth_);
     SUP_CHECK_MSG(slot < (1ULL << 32), "stream depth exceeds 2^32 slots");
     return (static_cast<uint64_t>(stream_index) << 32) | slot;
   }
 
+  int session_id() const { return session_id_; }
+
  private:
   struct Entry {
     sim::RegionId id;
     uint64_t bytes;
   };
+
+  std::string label_prefix() const {
+    return session_id_ < 0
+               ? std::string()
+               : "session." + std::to_string(session_id_) + ".";
+  }
 
   template <typename LabelFn>
   sim::RegionId lookup(std::unordered_map<uint64_t, Entry>& table,
@@ -76,6 +103,7 @@ class RegionTable {
 
   sim::MemorySystem* mem_;
   int depth_;
+  int session_id_;
   std::unordered_map<uint64_t, Entry> stream_regions_;
   std::unordered_map<uint64_t, Entry> scratch_regions_;
 };

@@ -1,313 +1,43 @@
 #include "hinch/thread_executor.hpp"
 
-#include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
-
+#include "hinch/session.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 
 namespace hinch {
-namespace {
 
-// splitmix64: deterministic per-run worker RNG for victim selection.
-inline uint64_t splitmix64(uint64_t& state) {
-  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-class ThreadRun {
-  // One per worker, cache-line padded so deque locks and counters of
-  // neighbouring workers do not false-share. The statistics counters are
-  // owner-written relaxed atomics: only the owning worker increments
-  // them, but a metrics/trace snapshot may read them while the run is
-  // still in flight, so plain uint64_t would be a torn/racy read.
-  struct alignas(64) Worker {
-    std::mutex mu;
-    std::deque<JobRef> jobs;  // owner: push/pop back (LIFO); thief: front
-    uint64_t rng = 0;
-    std::atomic<uint64_t> executed{0};
-    std::atomic<uint64_t> steals{0};
-    std::atomic<uint64_t> parks{0};
-  };
-
- public:
-  ThreadRun(Program& prog, const RunConfig& config)
-      : prog_(prog), scheduler_(prog, config) {}
-
-  ThreadResult run(int workers, obs::TraceSession* trace,
-                   obs::MetricsRegistry* metrics) {
-    SUP_CHECK(workers >= 1);
-    workers_ = workers;
-    metrics_ = metrics;
-    auto t0 = std::chrono::steady_clock::now();
-    if (obs::kTraceCompiledIn && trace != nullptr) {
-      trace_ = trace;
-      trace_->begin_run(workers, obs::ClockDomain::kWallNanos);
-      task_names_.reserve(prog_.tasks().size());
-      for (const Task& t : prog_.tasks()) {
-        std::string label =
-            t.label.empty() ? "task" + std::to_string(t.id) : t.label;
-        task_names_.push_back(trace_->intern(label));
-      }
-      steal_name_ = trace_->intern("steal");
-      park_name_ = trace_->intern("park");
-      reconfig_name_ = trace_->intern("reconfiguration");
-      pending_name_ = trace_->intern("pending jobs");
-      trace_t0_ = t0;
-    }
-
-    slots_ = std::vector<Worker>(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      // Deterministic per-run seed: same program + worker count -> same
-      // victim sequences (no wall-clock or address entropy).
-      slots_[static_cast<size_t>(w)].rng =
-          0x853C49E6748FEA9BULL ^ (static_cast<uint64_t>(w + 1) * 0x9E37ULL);
-    }
-
-    std::vector<JobRef> initial = scheduler_.start();
-    pending_.store(static_cast<int64_t>(initial.size()),
-                   std::memory_order_relaxed);
-    if (initial.empty()) {
-      done_.store(true, std::memory_order_relaxed);
-    } else {
-      // Spread the initial wavefront round-robin so workers start busy.
-      for (size_t i = 0; i < initial.size(); ++i)
-        slots_[i % static_cast<size_t>(workers)].jobs.push_back(initial[i]);
-    }
-
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w)
-      pool.emplace_back([this, w] { worker_loop(w); });
-    for (std::thread& t : pool) t.join();
-    auto t1 = std::chrono::steady_clock::now();
-
-    SUP_CHECK_MSG(scheduler_.finished(),
-                  "worker pool drained with unfinished iterations");
-    ThreadResult result;
-    result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-    result.sched = scheduler_.stats();
-    result.worker_jobs.reserve(slots_.size());
-    for (const Worker& w : slots_) {
-      uint64_t executed = w.executed.load(std::memory_order_relaxed);
-      result.jobs += executed;
-      result.steals += w.steals.load(std::memory_order_relaxed);
-      result.idle_parks += w.parks.load(std::memory_order_relaxed);
-      result.worker_jobs.push_back(executed);
-    }
-    return result;
-  }
-
- private:
-  void worker_loop(int id) {
-    Worker& self = slots_[static_cast<size_t>(id)];
-    JobRef job;
-    int failed_sweeps = 0;
-    for (;;) {
-      if (pop_own(self, &job) || steal(id, &job)) {
-        failed_sweeps = 0;
-        run_job(id, job);
-        continue;
-      }
-      if (done_.load(std::memory_order_acquire)) return;
-      // Spin through a few sweeps before parking: job supply is bursty
-      // (a completion fans out a whole wavefront at once).
-      if (++failed_sweeps < 4) {
-        std::this_thread::yield();
-        continue;
-      }
-      failed_sweeps = 0;
-      park(self);
-    }
-  }
-
-  void run_job(int id, JobRef job) {
-    Worker& self = slots_[static_cast<size_t>(id)];
-    // Chain loop: run the job, then directly continue with its first
-    // child — for the dominant one-successor case (the self-dependency
-    // chain of a task across iterations) this touches neither the deque
-    // nor the pending counter: the parent's "1 pending" simply transfers
-    // to the child. Extra children are published for thieves.
-    obs::TraceRecorder* rec =
-        trace_ != nullptr ? trace_->recorder(id) : nullptr;
-    for (;;) {
-      uint64_t t_start = rec != nullptr ? now_ns() : 0;
-      ExecContext ctx(scheduler_.job_component(job), job.iter, id,
-                      &prog_.queues(), metrics_);
-      scheduler_.execute(job, ctx);
-      std::vector<JobRef> newly = scheduler_.complete(job);
-      self.executed.fetch_add(1, std::memory_order_relaxed);
-      if (rec != nullptr) {
-        uint64_t t_end = now_ns();
-        rec->span(task_names_[static_cast<size_t>(job.task)],
-                  obs::Category::kTask, t_start, t_end - t_start, job.iter,
-                  job.task);
-        if (job.phase == 1)
-          rec->instant(reconfig_name_, obs::Category::kReconfig, t_end,
-                       job.iter, job.task);
-      }
-      if (newly.empty()) break;
-      if (newly.size() > 1) {
-        // Count the extra children before continuing so `pending_` can
-        // never dip to zero while work still exists.
-        int64_t now_pending =
-            pending_.fetch_add(static_cast<int64_t>(newly.size()) - 1,
-                               std::memory_order_relaxed) +
-            static_cast<int64_t>(newly.size()) - 1;
-        if (rec != nullptr)
-          rec->counter(pending_name_, obs::Category::kSched, now_ns(),
-                       now_pending);
-        if (metrics_ != nullptr) publish_live(now_pending);
-        {
-          std::lock_guard<std::mutex> lock(self.mu);
-          for (size_t i = 1; i < newly.size(); ++i)
-            self.jobs.push_back(newly[i]);
-        }
-        wake_sleepers(newly.size() - 1);
-      }
-      job = newly[0];
-    }
-    // The chain retires: drop its pending unit.
-    if (rec != nullptr)
-      rec->counter(pending_name_, obs::Category::kSched, now_ns(),
-                   pending_.load(std::memory_order_relaxed) - 1);
-    if (metrics_ != nullptr)
-      publish_live(pending_.load(std::memory_order_relaxed) - 1);
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last job in the system: the run is over.
-      {
-        std::lock_guard<std::mutex> lock(idle_mu_);
-        done_.store(true, std::memory_order_release);
-      }
-      idle_cv_.notify_all();
-    }
-  }
-
-  bool pop_own(Worker& self, JobRef* out) {
-    std::lock_guard<std::mutex> lock(self.mu);
-    if (self.jobs.empty()) return false;
-    *out = self.jobs.back();
-    self.jobs.pop_back();
-    return true;
-  }
-
-  bool steal(int id, JobRef* out) {
-    int n = workers_;
-    if (n <= 1) return false;
-    Worker& self = slots_[static_cast<size_t>(id)];
-    // Randomized victim order (deterministic seed): scan all other
-    // workers starting at a random offset. try_lock keeps thieves from
-    // convoying on a busy victim; a missed deque is retried on the next
-    // sweep (termination never depends on sweep completeness — the
-    // pending_ counter governs it).
-    int start = static_cast<int>(splitmix64(self.rng) %
-                                 static_cast<uint64_t>(n - 1));
-    for (int i = 0; i < n - 1; ++i) {
-      int victim = (start + i) % (n - 1);
-      if (victim >= id) ++victim;  // skip self
-      Worker& v = slots_[static_cast<size_t>(victim)];
-      std::unique_lock<std::mutex> lock(v.mu, std::try_to_lock);
-      if (!lock.owns_lock() || v.jobs.empty()) continue;
-      *out = v.jobs.front();  // FIFO end: oldest, largest-grain work
-      v.jobs.pop_front();
-      self.steals.fetch_add(1, std::memory_order_relaxed);
-      if (trace_ != nullptr)
-        trace_->recorder(id)->instant(steal_name_, obs::Category::kSched,
-                                      now_ns(), victim, out->task);
-      return true;
-    }
-    return false;
-  }
-
-  void park(Worker& self) {
-    if (trace_ != nullptr) {
-      int id = static_cast<int>(&self - slots_.data());
-      trace_->recorder(id)->instant(park_name_, obs::Category::kSched,
-                                    now_ns(), 0, -1);
-    }
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    if (done_.load(std::memory_order_relaxed)) return;
-    uint64_t epoch = wake_epoch_;
-    ++sleepers_;
-    self.parks.fetch_add(1, std::memory_order_relaxed);
-    // Bounded wait: a producer that observed sleepers_ == 0 an instant
-    // before we got here may skip its wakeup; the timeout turns that
-    // lost-wakeup window into a short stall instead of a hang.
-    idle_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
-      return wake_epoch_ != epoch || done_.load(std::memory_order_relaxed);
-    });
-    --sleepers_;
-  }
-
-  void wake_sleepers(size_t new_jobs) {
-    if (sleepers_.load(std::memory_order_relaxed) == 0) return;
-    {
-      std::lock_guard<std::mutex> lock(idle_mu_);
-      ++wake_epoch_;
-    }
-    if (new_jobs > 1)
-      idle_cv_.notify_all();
-    else
-      idle_cv_.notify_one();
-  }
-
-  // Refresh "live.*" gauges at the points the pending counter already
-  // changes (chain fan-out and chain retire). Workers race on the same
-  // names; the registry's internal lock makes each write atomic, and the
-  // gauges are approximations by design — the policy reads a consistent
-  // snapshot, not an exact instant.
-  void publish_live(int64_t pending_now) {
-    metrics_->set("live.pending_jobs", pending_now);
-    metrics_->set("live.iterations_done", scheduler_.iterations_done());
-  }
-
-  uint64_t now_ns() const {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - trace_t0_)
-            .count());
-  }
-
-  Program& prog_;
-  Scheduler scheduler_;
-  int workers_ = 1;
-  std::vector<Worker> slots_;
-
-  obs::MetricsRegistry* metrics_ = nullptr;  // nullptr: no live publication
-  obs::TraceSession* trace_ = nullptr;  // nullptr when tracing is off
-  std::chrono::steady_clock::time_point trace_t0_{};
-  std::vector<uint16_t> task_names_;
-  uint16_t steal_name_ = 0;
-  uint16_t park_name_ = 0;
-  uint16_t reconfig_name_ = 0;
-  uint16_t pending_name_ = 0;
-
-  // Jobs enqueued or running. 0 <=> the run is complete (children are
-  // counted before their parent retires).
-  std::atomic<int64_t> pending_{0};
-  std::atomic<bool> done_{false};
-
-  // Idle/termination protocol (see docs/RUNTIME.md).
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  uint64_t wake_epoch_ = 0;       // guarded by idle_mu_
-  std::atomic<int> sleepers_{0};  // relaxed hint for producers
-};
-
-}  // namespace
-
+// One thread backend, two surfaces: run_on_threads is the degenerate
+// one-session case of the SessionExecutor (session.hpp). A fresh pool is
+// built per call — same thread count, seeds and deque discipline as a
+// server pool — the borrowed program becomes session 0, metrics publish
+// unprefixed into the caller's registry (SessionConfig::metrics compat
+// path), and the pool's lifetime stats are the run's stats because the
+// pool ran nothing else.
 ThreadResult run_on_threads(Program& prog, const RunConfig& config,
                             int workers, obs::TraceSession* trace,
                             obs::MetricsRegistry* metrics) {
-  ThreadRun run(prog, config);
-  return run.run(workers, trace, metrics);
+  SessionExecutor::Config pool;
+  pool.workers = workers;
+  SessionExecutor exec(pool);
+
+  SessionConfig cfg;
+  cfg.run = config;
+  cfg.trace = trace;
+  cfg.metrics = metrics;
+  SessionPtr session = exec.submit(prog, cfg);
+  SessionResult done = session->wait();
+  SUP_CHECK_MSG(done.status == SessionStatus::kDone,
+                "single-session run did not complete");
+  exec.shutdown();
+
+  ThreadResult result;
+  result.wall_seconds = done.wall_seconds;
+  result.sched = done.sched;
+  result.jobs = done.jobs;
+  SessionExecutor::PoolStats stats = exec.pool_stats();
+  result.steals = stats.steals;
+  result.idle_parks = stats.idle_parks;
+  result.worker_jobs = std::move(stats.worker_jobs);
+  return result;
 }
 
 }  // namespace hinch

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "support/check.hpp"
 #include "support/strings.hpp"
 
 namespace obs {
@@ -34,6 +35,11 @@ void append_value(std::string* out, const MetricValue& m) {
   }
 }
 
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
 }  // namespace
 
 int64_t MetricsRegistry::Snapshot::get_int(const std::string& name) const {
@@ -50,17 +56,60 @@ bool MetricsRegistry::Snapshot::has(const std::string& name) const {
   return values_.count(name) != 0;
 }
 
+std::string MetricsRegistry::Snapshot::to_text() const {
+  std::string out;
+  for (const auto& [name, m] : values_) {
+    out += name;
+    out += ' ';
+    append_value(&out, m);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Snapshot::to_json() const {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, m] : values_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"";
+    append_escaped(&out, name);
+    out += "\": ";
+    append_value(&out, m);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(MetricsRegistry* parent, std::string prefix)
+    : parent_(parent), prefix_(std::move(prefix)) {
+  SUP_CHECK_MSG(parent != nullptr, "metrics view needs a parent registry");
+}
+
 void MetricsRegistry::set(const std::string& name, int64_t value) {
+  if (parent_ != nullptr) {
+    parent_->set(prefix_ + name, value);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   metrics_[name] = MetricValue{false, value, 0};
 }
 
 void MetricsRegistry::set(const std::string& name, double value) {
+  if (parent_ != nullptr) {
+    parent_->set(prefix_ + name, value);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   metrics_[name] = MetricValue{true, 0, value};
 }
 
 void MetricsRegistry::add(const std::string& name, int64_t delta) {
+  if (parent_ != nullptr) {
+    parent_->add(prefix_ + name, delta);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   MetricValue& m = metrics_[name];
   // Accumulate into the active representation: a metric set() as a
@@ -74,6 +123,10 @@ void MetricsRegistry::add(const std::string& name, int64_t delta) {
 }
 
 void MetricsRegistry::add(const std::string& name, double delta) {
+  if (parent_ != nullptr) {
+    parent_->add(prefix_ + name, delta);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   MetricValue& m = metrics_[name];
   if (!m.is_double) {
@@ -87,65 +140,72 @@ void MetricsRegistry::add(const std::string& name, double delta) {
 }
 
 int64_t MetricsRegistry::get_int(const std::string& name) const {
+  if (parent_ != nullptr) return parent_->get_int(prefix_ + name);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = metrics_.find(name);
   return it == metrics_.end() ? 0 : it->second.as_int();
 }
 
 double MetricsRegistry::get_double(const std::string& name) const {
+  if (parent_ != nullptr) return parent_->get_double(prefix_ + name);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = metrics_.find(name);
   return it == metrics_.end() ? 0 : it->second.as_double();
 }
 
 bool MetricsRegistry::has(const std::string& name) const {
+  if (parent_ != nullptr) return parent_->has(prefix_ + name);
   std::lock_guard<std::mutex> lock(mutex_);
   return metrics_.count(name) != 0;
 }
 
 size_t MetricsRegistry::size() const {
+  if (parent_ != nullptr) return snapshot().size();
   std::lock_guard<std::mutex> lock(mutex_);
   return metrics_.size();
 }
 
 void MetricsRegistry::clear() {
+  if (parent_ != nullptr) {
+    parent_->erase_prefix(prefix_);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   metrics_.clear();
 }
 
+void MetricsRegistry::erase_prefix(const std::string& prefix) {
+  if (parent_ != nullptr) {
+    parent_->erase_prefix(prefix_ + prefix);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.lower_bound(prefix);
+  while (it != metrics_.end() && starts_with(it->first, prefix))
+    it = metrics_.erase(it);
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  if (parent_ != nullptr) {
+    // Resolve inside the namespace: keep only prefixed entries, strip
+    // the prefix, so per-session code reads the names it published.
+    Snapshot all = parent_->snapshot();
+    Snapshot snap;
+    auto it = all.values_.lower_bound(prefix_);
+    while (it != all.values_.end() && starts_with(it->first, prefix_)) {
+      snap.values_.emplace(it->first.substr(prefix_.size()), it->second);
+      ++it;
+    }
+    return snap;
+  }
   Snapshot snap;
   std::lock_guard<std::mutex> lock(mutex_);
   snap.values_ = metrics_;
   return snap;
 }
 
-std::string MetricsRegistry::to_text() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::string out;
-  for (const auto& [name, m] : metrics_) {
-    out += name;
-    out += ' ';
-    append_value(&out, m);
-    out += '\n';
-  }
-  return out;
-}
+std::string MetricsRegistry::to_text() const { return snapshot().to_text(); }
 
-std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\n";
-  bool first = true;
-  for (const auto& [name, m] : metrics_) {
-    if (!first) out += ",\n";
-    first = false;
-    out += "  \"";
-    append_escaped(&out, name);
-    out += "\": ";
-    append_value(&out, m);
-  }
-  out += "\n}\n";
-  return out;
-}
+std::string MetricsRegistry::to_json() const { return snapshot().to_json(); }
 
 }  // namespace obs

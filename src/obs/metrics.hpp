@@ -24,6 +24,16 @@
 // representation the metric currently has (a delta on a double-typed
 // metric lands in the double; a double delta on an int-typed metric
 // promotes it to double). A metric created by add() starts as int64.
+//
+// Views: a registry constructed as MetricsRegistry(&parent, "session.3.")
+// is a *view* — it owns no storage and forwards every operation to the
+// parent with the prefix prepended, so an executor or component handed
+// the view publishes "live.x" and the parent records "session.3.live.x".
+// Reads are symmetric (get/has/snapshot resolve inside the namespace,
+// names stripped of the prefix), which lets per-session code — including
+// in-graph policy components polling snapshot() — run unchanged under a
+// multi-tenant server. Views compose (a view of a view concatenates
+// prefixes) and clear() erases only the view's namespace.
 #pragma once
 
 #include <cstdint>
@@ -60,10 +70,24 @@ class MetricsRegistry {
       return values_;
     }
 
+    // "name value\n" lines / flat JSON object, keys sorted; the same
+    // deterministic formats the registry dumps (it delegates here).
+    std::string to_text() const;
+    std::string to_json() const;
+
    private:
     friend class MetricsRegistry;
     std::map<std::string, MetricValue> values_;
   };
+
+  MetricsRegistry() = default;
+  // View constructor: every operation forwards to `parent` with
+  // `prefix` prepended to the metric name (see the header comment).
+  // `parent` must outlive the view.
+  MetricsRegistry(MetricsRegistry* parent, std::string prefix);
+
+  bool is_view() const { return parent_ != nullptr; }
+  const std::string& prefix() const { return prefix_; }
 
   void set(const std::string& name, int64_t value);
   void set(const std::string& name, double value);
@@ -87,6 +111,9 @@ class MetricsRegistry {
 
   size_t size() const;
   void clear();
+  // Remove every metric whose name starts with `prefix` (a view's
+  // clear() maps to this on the parent).
+  void erase_prefix(const std::string& prefix);
 
   // Copy of every metric under a single lock acquisition — the live
   // poll API (safe to call while executors are still publishing).
@@ -101,6 +128,9 @@ class MetricsRegistry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, MetricValue> metrics_;
+  // View state: non-null parent makes this registry storage-free.
+  MetricsRegistry* parent_ = nullptr;
+  std::string prefix_;
 };
 
 }  // namespace obs

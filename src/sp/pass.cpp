@@ -218,4 +218,25 @@ PassManager make_pipeline(const PassOptions& options) {
   return pm;
 }
 
+std::string pass_fingerprint(const PassOptions& options) {
+  std::string out;
+  auto mark = [&](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (options.normalize) mark("normalize");
+  if (options.strip_dead_options) mark("strip-dead-options");
+  if (options.to_sp_form) mark("to-sp-form");
+  if (options.auto_group) {
+    mark("auto-group");
+    if (options.advisor) out += "+advisor";
+  }
+  if (options.fuse_kernels) {
+    mark("fuse-kernels");
+    if (options.kernel_patterns != nullptr) out += "+patterns";
+    if (options.kernel_advisor) out += "+kernel-advisor";
+  }
+  return out.empty() ? "none" : out;
+}
+
 }  // namespace sp

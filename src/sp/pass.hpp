@@ -151,4 +151,15 @@ support::Result<Pass> pass_by_name(const std::string& name,
 // options.verify.
 PassManager make_pipeline(const PassOptions& options);
 
+// A short stable string identifying *which rewrites* a PassOptions runs:
+// the enabled pass names in canonical order, plus markers for attached
+// advisors/patterns ("+advisor", "+kernel-advisor", "+patterns") since
+// an advisor changes what the same flags produce. The verify flag is
+// excluded — it never changes the output graph. Two option sets with
+// equal fingerprints produce the same graph from the same input *unless*
+// their advisor callables differ behind the marker; callers caching on
+// the fingerprint (xspcl::SpecCache) must add their own salt in that
+// case.
+std::string pass_fingerprint(const PassOptions& options);
+
 }  // namespace sp

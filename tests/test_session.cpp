@@ -1,0 +1,531 @@
+// Session-scoped runtime tests: tenancy isolation on the shared
+// work-stealing pool (bit-identical outputs, metrics/trace/region
+// namespaces), admission control, cancellation/teardown ordering, the
+// compiled-spec cache, and the server rebalance policy. The churn test
+// (concurrent Program build + submit + cancel on a live executor) is a
+// designated ThreadSanitizer workload — label "tsan", same build recipe
+// as test_thread_stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "components/components.hpp"
+#include "components/sinks.hpp"
+#include "hinch/region_table.hpp"
+#include "hinch/runtime.hpp"
+#include "hinch/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/cache.hpp"
+#include "sp/pass.hpp"
+#include "xspcl/loader.hpp"
+#include "xspcl/spec_cache.hpp"
+
+namespace {
+
+using hinch::Program;
+using hinch::SessionConfig;
+using hinch::SessionExecutor;
+using hinch::SessionPtr;
+using hinch::SessionResult;
+using hinch::SessionStatus;
+
+std::string blur_spec(int iters, int slices = 2) {
+  apps::BlurConfig c;
+  c.width = 64;
+  c.height = 48;
+  c.frames = iters;
+  c.kernel = 3;
+  c.slices = slices;
+  c.clip_frames = 4;
+  return apps::blur_xspcl(c);
+}
+
+std::unique_ptr<Program> build(const std::string& spec) {
+  components::register_standard_globally();
+  auto prog = xspcl::build_program(spec, hinch::ComponentRegistry::global());
+  SUP_CHECK_MSG(prog.is_ok(), prog.status().message().c_str());
+  return std::move(prog).take();
+}
+
+// Chained FNV over every sink's checksum — equal iff all output video
+// is equal (same reduction hinchd reports per batch).
+uint64_t output_checksum(Program& prog) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (int i = 0; i < prog.component_count(); ++i) {
+    const auto* access =
+        dynamic_cast<const components::SinkAccess*>(&prog.component(i));
+    if (access == nullptr) continue;
+    uint64_t c = access->sink().checksum();
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (c >> (8 * b)) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+SessionPtr open(SessionExecutor& exec, std::unique_ptr<Program> prog,
+                int64_t iters, obs::TraceSession* trace = nullptr) {
+  SessionConfig cfg;
+  cfg.run.iterations = iters;
+  cfg.run.window = 2;
+  cfg.trace = trace;
+  return exec.submit(std::move(prog), cfg);
+}
+
+// --- bit-identity across tenancy -------------------------------------------
+
+// Two concurrent same-spec sessions must each produce output
+// bit-identical to a solo single-session run: component state, streams
+// and regions are per-Program, so tenancy must not leak between graphs.
+TEST(SessionIsolation, ConcurrentSameSpecSessionsMatchSoloRun) {
+  const std::string spec = blur_spec(24);
+  const int64_t iters = 24;
+
+  uint64_t solo;
+  {
+    std::unique_ptr<Program> prog = build(spec);
+    SessionExecutor::Config pool;
+    pool.workers = 3;
+    SessionExecutor exec(pool);
+    SessionConfig cfg;
+    cfg.run.iterations = iters;
+    cfg.run.window = 2;
+    SessionPtr s = exec.submit(*prog, cfg);
+    EXPECT_EQ(s->wait().status, SessionStatus::kDone);
+    solo = output_checksum(*prog);
+    exec.shutdown();
+  }
+
+  std::unique_ptr<Program> a = build(spec);
+  std::unique_ptr<Program> b = build(spec);
+  Program* pa = a.get();
+  Program* pb = b.get();
+  SessionExecutor::Config pool;
+  pool.workers = 3;
+  SessionExecutor exec(pool);
+  SessionConfig cfg;
+  cfg.run.iterations = iters;
+  cfg.run.window = 2;
+  SessionPtr sa = exec.submit(*pa, cfg);
+  SessionPtr sb = exec.submit(*pb, cfg);
+  EXPECT_EQ(sa->wait().status, SessionStatus::kDone);
+  EXPECT_EQ(sb->wait().status, SessionStatus::kDone);
+  EXPECT_EQ(output_checksum(*pa), solo);
+  EXPECT_EQ(output_checksum(*pb), solo);
+  exec.shutdown();
+  a.reset();
+  b.reset();
+}
+
+// The owning submit overload keeps the Program alive through teardown:
+// jobs carry the session shared_ptr, the session holds the Program.
+TEST(SessionIsolation, OwnedProgramSurvivesUntilDrain) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  SessionExecutor exec(pool);
+  SessionPtr s = open(exec, build(blur_spec(16)), 16);
+  SessionResult r = s->wait();
+  EXPECT_EQ(r.status, SessionStatus::kDone);
+  EXPECT_EQ(r.iterations_done, 16);
+  EXPECT_GT(r.jobs, 0u);
+  EXPECT_NE(output_checksum(s->program()), 0u);
+}
+
+// --- metrics namespacing ----------------------------------------------------
+
+TEST(SessionMetrics, LiveGaugesLandInSessionNamespace) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  SessionExecutor exec(pool);
+  SessionPtr a = open(exec, build(blur_spec(12)), 12);
+  SessionPtr b = open(exec, build(blur_spec(12)), 12);
+  a->wait();
+  b->wait();
+
+  obs::MetricsRegistry::Snapshot snap = exec.metrics().snapshot();
+  std::string pa = "session." + std::to_string(a->id()) + ".";
+  std::string pb = "session." + std::to_string(b->id()) + ".";
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_TRUE(snap.has(pa + "live.iterations_done"));
+  EXPECT_TRUE(snap.has(pb + "live.iterations_done"));
+  EXPECT_EQ(snap.get_int(pa + "live.iterations_done"), 12);
+  EXPECT_EQ(snap.get_int(pb + "live.iterations_done"), 12);
+  // Server-level gauges live beside the per-session namespaces.
+  EXPECT_TRUE(snap.has("server.sessions_completed"));
+  EXPECT_EQ(snap.get_int("server.sessions_completed"), 2);
+
+  // A session's own metrics surface resolves unprefixed names through
+  // its view — components publish without knowing about tenancy.
+  EXPECT_EQ(a->metrics()->get_int("live.iterations_done"), 12);
+  exec.shutdown();
+}
+
+// --- per-session tracing ----------------------------------------------------
+
+TEST(SessionTrace, EachSessionGetsItsOwnTrace) {
+  obs::TraceSession ta;
+  obs::TraceSession tb;
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  SessionExecutor exec(pool);
+  SessionPtr a = open(exec, build(blur_spec(12)), 12, &ta);
+  SessionPtr b = open(exec, build(blur_spec(12)), 12, &tb);
+  SessionResult ra = a->wait();
+  SessionResult rb = b->wait();
+  exec.shutdown();
+  EXPECT_EQ(ra.status, SessionStatus::kDone);
+  EXPECT_EQ(rb.status, SessionStatus::kDone);
+  // Every executed job emits at least one span into its own session's
+  // trace — and only there (lane counts are per-trace, so cross-talk
+  // would overshoot one and undershoot the other). With the
+  // instrumentation compiled out (HINCH_TRACING=OFF) the executor never
+  // touches the trace at all — no lanes, no events.
+  if (obs::kTraceCompiledIn) {
+    EXPECT_GE(ta.emitted(), ra.jobs);
+    EXPECT_GE(tb.emitted(), rb.jobs);
+    EXPECT_EQ(ta.lanes(), 2);
+    EXPECT_EQ(tb.lanes(), 2);
+  }
+}
+
+// --- frame-completion probe -------------------------------------------------
+
+TEST(SessionFrames, RecordFrameTimesStampsEveryIteration) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  SessionExecutor exec(pool);
+  SessionConfig cfg;
+  cfg.run.iterations = 20;
+  cfg.run.window = 2;
+  cfg.record_frame_times = true;
+  SessionPtr s = exec.submit(build(blur_spec(20)), cfg);
+  SessionResult r = s->wait();
+  exec.shutdown();
+  ASSERT_EQ(r.status, SessionStatus::kDone);
+  ASSERT_EQ(r.frame_done_ns.size(), 20u);
+  for (size_t i = 1; i < r.frame_done_ns.size(); ++i)
+    EXPECT_GE(r.frame_done_ns[i], r.frame_done_ns[i - 1]);
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(SessionAdmission, CapQueuesFifoAndCompletesAll) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  pool.max_active_sessions = 1;
+  SessionExecutor exec(pool);
+  std::vector<SessionPtr> sessions;
+  for (int i = 0; i < 4; ++i)
+    sessions.push_back(open(exec, build(blur_spec(8)), 8));
+  for (SessionPtr& s : sessions)
+    EXPECT_EQ(s->wait().status, SessionStatus::kDone);
+  EXPECT_EQ(exec.peak_active_sessions(), 1);
+  EXPECT_EQ(exec.sessions_completed(), 4u);
+  exec.shutdown();
+}
+
+TEST(SessionAdmission, RaisingTheCapStartsQueuedSessions) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  pool.max_active_sessions = 1;
+  SessionExecutor exec(pool);
+  // A long session holds the only slot; two short ones queue.
+  SessionPtr slow = open(exec, build(blur_spec(400)), 400);
+  SessionPtr q1 = open(exec, build(blur_spec(4)), 4);
+  SessionPtr q2 = open(exec, build(blur_spec(4)), 4);
+  EXPECT_GE(exec.queued_sessions(), 1);
+  exec.set_active_cap(3);
+  EXPECT_EQ(q1->wait().status, SessionStatus::kDone);
+  EXPECT_EQ(q2->wait().status, SessionStatus::kDone);
+  exec.cancel(slow);
+  SessionResult r = slow->wait();
+  EXPECT_TRUE(r.status == SessionStatus::kCancelled ||
+              r.status == SessionStatus::kDone);
+  EXPECT_GE(exec.peak_active_sessions(), 2);
+  exec.shutdown();
+}
+
+// --- cancellation / teardown ------------------------------------------------
+
+TEST(SessionCancel, CancelDrainsOneSessionWithoutStoppingThePool) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  SessionExecutor exec(pool);
+  SessionPtr victim = open(exec, build(blur_spec(4000)), 4000);
+  exec.cancel(victim);
+  SessionResult r = victim->wait();
+  EXPECT_TRUE(r.status == SessionStatus::kCancelled ||
+              r.status == SessionStatus::kDone);
+  EXPECT_LE(r.iterations_done, 4000);
+
+  // The pool is still live: a fresh session runs to completion.
+  SessionPtr after = open(exec, build(blur_spec(8)), 8);
+  EXPECT_EQ(after->wait().status, SessionStatus::kDone);
+  exec.shutdown();
+}
+
+TEST(SessionCancel, CancellingAQueuedSessionFinalizesImmediately) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  pool.max_active_sessions = 1;
+  SessionExecutor exec(pool);
+  SessionPtr slow = open(exec, build(blur_spec(400)), 400);
+  SessionPtr queued = open(exec, build(blur_spec(8)), 8);
+  exec.cancel(queued);
+  SessionResult r = queued->wait();
+  EXPECT_EQ(r.status, SessionStatus::kCancelled);
+  EXPECT_EQ(r.iterations_done, 0);
+  EXPECT_EQ(r.jobs, 0u);
+  exec.cancel(slow);
+  slow->wait();
+  exec.shutdown();
+}
+
+TEST(SessionCancel, ShutdownCancelsEverything) {
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  SessionExecutor exec(pool);
+  SessionPtr a = open(exec, build(blur_spec(4000)), 4000);
+  SessionPtr b = open(exec, build(blur_spec(4000)), 4000);
+  exec.shutdown();
+  EXPECT_TRUE(a->finished());
+  EXPECT_TRUE(b->finished());
+}
+
+// --- RegionTable session namespace ------------------------------------------
+
+TEST(SessionRegions, LabelsCarryTheSessionPrefix) {
+  sim::CacheConfig mem_config;
+  sim::MemorySystem mem(mem_config);
+  hinch::RegionTable solo(&mem, 4);
+  EXPECT_EQ(solo.session_id(), -1);
+  hinch::RegionTable tenant(&mem, 4, /*session_id=*/7);
+  EXPECT_EQ(tenant.session_id(), 7);
+  // Same (stream, iter) in two tables must not alias: the session
+  // prefix keeps their region labels distinct.
+  sim::RegionId a = solo.stream_region(0, 0, 64);
+  sim::RegionId b = tenant.stream_region(0, 0, 64);
+  EXPECT_NE(a, b);
+}
+
+TEST(SessionRegionsDeathTest, StreamIndexBeyond32BitsIsRejected) {
+  sim::CacheConfig mem_config;
+  sim::MemorySystem mem(mem_config);
+  hinch::RegionTable table(&mem, 4);
+  // 2^32 - 1 packs; 2^32 would shift into the slot half and alias
+  // stream index mod 2^32 — the guard must trip, not wrap.
+  EXPECT_EQ(table.stream_key((int64_t{1} << 32) - 1, 0) >> 32,
+            (uint64_t{1} << 32) - 1);
+  EXPECT_DEATH(table.stream_key(int64_t{1} << 32, 0),
+               "stream index exceeds");
+  EXPECT_DEATH(table.stream_key(-1, 0), "negative stream index");
+}
+
+// --- compiled-spec cache ----------------------------------------------------
+
+TEST(SpecCacheTest, HitsShareTheCompiledGraph) {
+  components::register_standard_globally();
+  xspcl::SpecCache cache;
+  const std::string spec = blur_spec(8);
+  sp::PassOptions passes;
+  auto a = cache.load(spec, passes);
+  ASSERT_TRUE(a.is_ok());
+  auto b = cache.load(spec, passes);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value(), b.value());  // same cached node
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SpecCacheTest, DistinctPassPipelinesAreDistinctEntries) {
+  components::register_standard_globally();
+  xspcl::SpecCache cache;
+  const std::string spec = blur_spec(8);
+  sp::PassOptions defaults;
+  sp::PassOptions grouped = defaults;
+  grouped.auto_group = true;
+  ASSERT_TRUE(cache.load(spec, defaults).is_ok());
+  ASSERT_TRUE(cache.load(spec, grouped).is_ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // A salt separates entries that would otherwise collide (advisors
+  // carry identity the fingerprint cannot see).
+  ASSERT_TRUE(cache.load(spec, defaults, "tenant-a").is_ok());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(SpecCacheTest, BuildProgramInstantiatesFreshState) {
+  components::register_standard_globally();
+  xspcl::SpecCache cache;
+  const std::string spec = blur_spec(12);
+  auto a = cache.build_program(spec, hinch::ComponentRegistry::global());
+  ASSERT_TRUE(a.is_ok());
+  auto b = cache.build_program(spec, hinch::ComponentRegistry::global());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Both cache-built programs run independently and agree with a
+  // cold-built one bit for bit.
+  std::unique_ptr<Program> cold = build(spec);
+  SessionExecutor::Config pool;
+  pool.workers = 2;
+  SessionExecutor exec(pool);
+  std::unique_ptr<Program> pa = std::move(a).take();
+  std::unique_ptr<Program> pb = std::move(b).take();
+  Program* rawa = pa.get();
+  Program* rawb = pb.get();
+  SessionConfig cfg;
+  cfg.run.iterations = 12;
+  SessionPtr sa = exec.submit(std::move(pa), cfg);
+  SessionPtr sb = exec.submit(std::move(pb), cfg);
+  SessionPtr sc = exec.submit(*cold, cfg);
+  sa->wait();
+  sb->wait();
+  sc->wait();
+  EXPECT_EQ(output_checksum(*rawa), output_checksum(*cold));
+  EXPECT_EQ(output_checksum(*rawb), output_checksum(*cold));
+  exec.shutdown();
+}
+
+TEST(SpecCacheTest, BadSpecReportsTheLoaderError) {
+  xspcl::SpecCache cache;
+  auto r = cache.load("<not a spec", sp::PassOptions());
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- pass fingerprint -------------------------------------------------------
+
+TEST(PassFingerprint, DistinguishesPipelinesAndIgnoresVerify) {
+  sp::PassOptions none = sp::PassOptions::none();
+  EXPECT_EQ(sp::pass_fingerprint(none), "none");
+
+  sp::PassOptions defaults;
+  sp::PassOptions grouped = defaults;
+  grouped.auto_group = true;
+  EXPECT_NE(sp::pass_fingerprint(defaults), sp::pass_fingerprint(grouped));
+
+  sp::PassOptions verifying = defaults;
+  verifying.verify = !verifying.verify;
+  EXPECT_EQ(sp::pass_fingerprint(defaults),
+            sp::pass_fingerprint(verifying));
+}
+
+// --- server rebalance policy ------------------------------------------------
+
+obs::MetricsRegistry::Snapshot backlog_snapshot(double pending_a,
+                                                double pending_b,
+                                                int queued) {
+  obs::MetricsRegistry reg;
+  reg.set("session.0.live.pending_jobs", static_cast<int64_t>(pending_a));
+  reg.set("session.1.live.pending_jobs", static_cast<int64_t>(pending_b));
+  reg.set("server.active_sessions", 2);
+  reg.set("server.queued_sessions", queued);
+  return reg.snapshot();
+}
+
+TEST(ServerRebalanceTest, HysteresisShrinksOnSustainedOverloadOnly) {
+  components::ServerRebalanceConfig cfg;
+  cfg.high_backlog_per_worker = 8.0;
+  cfg.low_backlog_per_worker = 2.0;
+  cfg.hold_polls = 2;
+  cfg.min_active = 1;
+  cfg.max_active = 4;
+  components::ServerRebalance rb(cfg);
+
+  obs::MetricsRegistry::Snapshot hot = backlog_snapshot(40, 40, 1);
+  EXPECT_EQ(components::ServerRebalance::aggregate_backlog(hot), 80.0);
+  // One hot poll: debounced, no change (cap 2 on 4 workers = 20/worker).
+  EXPECT_EQ(rb.recommend(hot, /*workers=*/4, /*current_cap=*/2), 2);
+  // Second consecutive hot poll: shrink by one.
+  EXPECT_EQ(rb.recommend(hot, 4, 2), 1);
+  // Never below min_active.
+  EXPECT_EQ(rb.recommend(hot, 4, 1), 1);
+  EXPECT_EQ(rb.recommend(hot, 4, 1), 1);
+}
+
+TEST(ServerRebalanceTest, GrowsOnlyWithQueuedDemand) {
+  components::ServerRebalanceConfig cfg;
+  cfg.hold_polls = 2;
+  cfg.max_active = 4;
+  components::ServerRebalance rb(cfg);
+
+  obs::MetricsRegistry::Snapshot idle_no_queue = backlog_snapshot(0, 0, 0);
+  EXPECT_EQ(rb.recommend(idle_no_queue, 4, 2), 2);
+  EXPECT_EQ(rb.recommend(idle_no_queue, 4, 2), 2);  // no demand, no grow
+
+  components::ServerRebalance rb2(cfg);
+  obs::MetricsRegistry::Snapshot idle_queued = backlog_snapshot(0, 0, 3);
+  EXPECT_EQ(rb2.recommend(idle_queued, 4, 2), 2);  // debounce
+  EXPECT_EQ(rb2.recommend(idle_queued, 4, 2), 3);  // grow by one
+  // In-band polls reset the streaks.
+  components::ServerRebalance rb3(cfg);
+  obs::MetricsRegistry::Snapshot mid = backlog_snapshot(8, 8, 3);
+  EXPECT_EQ(rb3.recommend(idle_queued, 4, 2), 2);
+  EXPECT_EQ(rb3.recommend(mid, 4, 2), 2);
+  EXPECT_EQ(rb3.recommend(idle_queued, 4, 2), 2);  // streak restarted
+}
+
+// --- churn stress (the tsan workload) ---------------------------------------
+
+// Concurrent Program build + submit + cancel + wait against one live
+// executor: the cross-thread seams (admission, cancellation flags,
+// pending accounting, finalize) all run under contention. Iteration
+// counts are small so the test stays fast; the point is overlap, not
+// volume.
+TEST(SessionChurnStress, ConcurrentBuildSubmitCancelTeardown) {
+  const std::string spec = blur_spec(16);
+  components::register_standard_globally();
+  SessionExecutor::Config pool;
+  pool.workers = 3;
+  pool.max_active_sessions = 3;
+  SessionExecutor exec(pool);
+  xspcl::SpecCache cache;
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 6;
+  std::atomic<int> done{0};
+  std::atomic<int> cancelled{0};
+  std::vector<std::thread> churners;
+  churners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto prog =
+            cache.build_program(spec, hinch::ComponentRegistry::global());
+        ASSERT_TRUE(prog.is_ok());
+        SessionConfig cfg;
+        cfg.run.iterations = 16;
+        cfg.name = "churn-" + std::to_string(t);
+        SessionPtr s = exec.submit(std::move(prog).take(), cfg);
+        if ((t + i) % 2 == 0) exec.cancel(s);
+        SessionResult r = s->wait();
+        if (r.status == SessionStatus::kDone) {
+          EXPECT_EQ(r.iterations_done, 16);
+          done.fetch_add(1);
+        } else {
+          ASSERT_EQ(r.status, SessionStatus::kCancelled);
+          cancelled.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : churners) t.join();
+  EXPECT_EQ(done.load() + cancelled.load(), kThreads * kPerThread);
+  EXPECT_EQ(exec.sessions_completed(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(cache.stats().hits, 1u);
+  exec.shutdown();
+  EXPECT_EQ(exec.active_sessions(), 0);
+  EXPECT_EQ(exec.queued_sessions(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,413 @@
+// hinchd — long-lived multi-tenant Hinch streaming server.
+//
+// One process, one SessionExecutor (shared work-stealing pool), many
+// tenants: each `open` names a built-in application (apps::catalog), its
+// spec is compiled once through the SpecCache, and each `feed` runs a
+// batch of iterations as a hinch::Session on the shared pool. Closing a
+// tenant cancels and drains only its jobs; everyone else keeps
+// streaming. This is the server the session-scoped runtime refactor
+// exists for (docs/RUNTIME.md, "Session lifecycle").
+//
+// Serve mode (default) reads a line protocol from stdin:
+//
+//   open <app> [key=value ...]  admit a tenant (apps: pip|jpip|blur|mjpeg)
+//                               extra keys: trace=1 attaches a per-session
+//                               trace (timestamps relative to each batch)
+//                               -> ok open <tid> <app>
+//   feed <tid> <iterations>     run one batch of iterations
+//                               -> ok feed <tid> <iterations>
+//   wait <tid>                  block until the tenant's batches finish
+//                               -> done <tid> batch=<n> status=<s>
+//                                  iters=<n> jobs=<n> checksum=<hex> ...
+//   close <tid>                 cancel in-flight batches, drain, forget
+//                               -> ok close <tid>
+//   cap <n>                     set the active-session cap (0 = uncapped)
+//   stats                       server gauges + pool + spec-cache counters
+//   trace <tid> <path>          write the tenant's last batch as Chrome
+//                               JSON, pid = tid (hinchtrace --session=<tid>)
+//   quit                        close every tenant, shut the pool down
+//                               -> bye
+//
+// Responses go to stdout (one "ok"/"done"/"err" line per command, `stats`
+// multi-line); diagnostics to stderr. `hinchd --loadgen ... | hinchd`
+// pipes a generated client script into a server — the CI end-to-end
+// smoke runs exactly that.
+//
+//   hinchd [--workers=N] [--max-sessions=N] [--rebalance] [--period=MS]
+//   hinchd --loadgen [--sessions=N] [--apps=pip,blur] [--iters=N]
+//                    [--feeds=M] [--churn]
+//
+// --rebalance wires components::ServerRebalance between commands: the
+// aggregate backlog in the shared registry adjusts the active cap with
+// hysteresis (overload queues new tenants instead of thrashing the pool).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "components/components.hpp"
+#include "components/sinks.hpp"
+#include "hinch/session.hpp"
+#include "obs/chrome_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/strings.hpp"
+#include "xspcl/spec_cache.hpp"
+
+namespace {
+
+struct Batch {
+  hinch::SessionPtr session;
+  int64_t iterations = 0;
+};
+
+struct Tenant {
+  int id = -1;
+  std::string app;
+  std::string spec;
+  int stream_depth = 5;
+  std::unique_ptr<obs::TraceSession> trace;  // when opened with trace=1
+  std::vector<Batch> batches;                // in feed order
+  int64_t iterations_fed = 0;
+};
+
+// Chained FNV over every sink component's checksum: one number that is
+// equal iff all output video of the batch is equal.
+uint64_t output_checksum(hinch::Program& prog) {
+  uint64_t hash = 14695981039346656037ULL;
+  bool any = false;
+  for (int i = 0; i < prog.component_count(); ++i) {
+    const auto* access =
+        dynamic_cast<const components::SinkAccess*>(&prog.component(i));
+    if (access == nullptr) continue;
+    any = true;
+    uint64_t c = access->sink().checksum();
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (c >> (8 * b)) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return any ? hash : 0;
+}
+
+struct ServeOptions {
+  int workers = 4;
+  int max_sessions = 0;
+  bool rebalance = false;
+};
+
+int serve(const ServeOptions& opts) {
+  components::register_standard_globally();
+  hinch::SessionExecutor::Config pool;
+  pool.workers = opts.workers;
+  pool.max_active_sessions = opts.max_sessions;
+  hinch::SessionExecutor exec(pool);
+  xspcl::SpecCache cache;
+  components::ServerRebalanceConfig rb_config;
+  rb_config.max_active = opts.max_sessions;
+  components::ServerRebalance rebalance(rb_config);
+
+  std::map<int, Tenant> tenants;
+  int next_tenant = 0;
+  bool running = true;
+
+  auto err = [](const std::string& msg) {
+    std::printf("err %s\n", msg.c_str());
+  };
+
+  auto wait_tenant = [&](Tenant& t) {
+    for (size_t i = 0; i < t.batches.size(); ++i) {
+      Batch& b = t.batches[i];
+      hinch::SessionResult r = b.session->wait();
+      std::printf("done %d batch=%zu status=%s iters=%lld jobs=%llu "
+                  "checksum=%016llx wall=%.3fs\n",
+                  t.id, i, hinch::session_status_name(r.status),
+                  static_cast<long long>(r.iterations_done),
+                  static_cast<unsigned long long>(r.jobs),
+                  static_cast<unsigned long long>(
+                      output_checksum(b.session->program())),
+                  r.wall_seconds);
+    }
+  };
+
+  auto close_tenant = [&](Tenant& t) {
+    for (Batch& b : t.batches) exec.cancel(b.session);
+    for (Batch& b : t.batches) b.session->wait();
+  };
+
+  std::string line;
+  char buf[4096];
+  while (running && std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+    line.assign(buf);
+    std::vector<std::string> raw = support::split(line, ' ');
+    std::vector<std::string> tokens;
+    for (const std::string& t : raw) {
+      std::string trimmed(support::trim(t));
+      if (!trimmed.empty()) tokens.push_back(std::move(trimmed));
+    }
+    if (tokens.empty()) continue;
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "open") {
+      if (tokens.size() < 2) {
+        err("open needs an app name");
+        continue;
+      }
+      bool with_trace = false;
+      int depth = 5;
+      std::vector<std::string> param_tokens;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "trace=1") {
+          with_trace = true;
+        } else if (tokens[i].rfind("depth=", 0) == 0) {
+          depth = std::atoi(tokens[i].c_str() + 6);
+        } else {
+          param_tokens.push_back(tokens[i]);
+        }
+      }
+      auto params = apps::parse_catalog_params(param_tokens);
+      if (!params.is_ok()) {
+        err(params.status().message());
+        continue;
+      }
+      auto spec = apps::builtin_xspcl(tokens[1], params.value());
+      if (!spec.is_ok()) {
+        err(spec.status().message());
+        continue;
+      }
+      Tenant t;
+      t.id = next_tenant++;
+      t.app = tokens[1];
+      t.spec = std::move(spec).take();
+      t.stream_depth = depth < 1 ? 1 : depth;
+      if (with_trace && obs::kTraceCompiledIn)
+        t.trace = std::make_unique<obs::TraceSession>();
+      int id = t.id;
+      tenants.emplace(id, std::move(t));
+      std::printf("ok open %d %s\n", id, tokens[1].c_str());
+    } else if (cmd == "feed") {
+      if (tokens.size() != 3) {
+        err("usage: feed <tid> <iterations>");
+        continue;
+      }
+      auto it = tenants.find(std::atoi(tokens[1].c_str()));
+      if (it == tenants.end()) {
+        err("no such tenant");
+        continue;
+      }
+      long long iters = std::atoll(tokens[2].c_str());
+      if (iters < 1) {
+        err("iterations must be >= 1");
+        continue;
+      }
+      Tenant& t = it->second;
+      hinch::Program::BuildConfig build;
+      build.stream_depth = t.stream_depth;
+      auto prog = cache.build_program(
+          t.spec, hinch::ComponentRegistry::global(), build);
+      if (!prog.is_ok()) {
+        err(prog.status().message());
+        continue;
+      }
+      hinch::SessionConfig cfg;
+      cfg.run.iterations = iters;
+      cfg.run.window = t.stream_depth;
+      cfg.name = t.app;
+      cfg.trace = t.trace.get();
+      cfg.record_frame_times = true;
+      Batch b;
+      b.iterations = iters;
+      b.session = exec.submit(std::move(prog).take(), cfg);
+      t.batches.push_back(std::move(b));
+      t.iterations_fed += iters;
+      std::printf("ok feed %d %lld\n", t.id, iters);
+    } else if (cmd == "wait") {
+      if (tokens.size() != 2) {
+        err("usage: wait <tid>");
+        continue;
+      }
+      auto it = tenants.find(std::atoi(tokens[1].c_str()));
+      if (it == tenants.end()) {
+        err("no such tenant");
+        continue;
+      }
+      wait_tenant(it->second);
+    } else if (cmd == "close") {
+      if (tokens.size() != 2) {
+        err("usage: close <tid>");
+        continue;
+      }
+      auto it = tenants.find(std::atoi(tokens[1].c_str()));
+      if (it == tenants.end()) {
+        err("no such tenant");
+        continue;
+      }
+      close_tenant(it->second);
+      tenants.erase(it);
+      std::printf("ok close %s\n", tokens[1].c_str());
+    } else if (cmd == "cap") {
+      if (tokens.size() != 2) {
+        err("usage: cap <n>");
+        continue;
+      }
+      exec.set_active_cap(std::atoi(tokens[1].c_str()));
+      std::printf("ok cap %d\n", exec.active_cap());
+    } else if (cmd == "stats") {
+      hinch::SessionExecutor::PoolStats pool_stats = exec.pool_stats();
+      xspcl::SpecCache::Stats cache_stats = cache.stats();
+      std::printf("stats tenants=%zu active=%d queued=%d completed=%llu "
+                  "cap=%d\n",
+                  tenants.size(), exec.active_sessions(),
+                  exec.queued_sessions(),
+                  static_cast<unsigned long long>(exec.sessions_completed()),
+                  exec.active_cap());
+      std::printf("stats pool workers=%d jobs=%llu steals=%llu parks=%llu\n",
+                  exec.workers(),
+                  static_cast<unsigned long long>(pool_stats.jobs),
+                  static_cast<unsigned long long>(pool_stats.steals),
+                  static_cast<unsigned long long>(pool_stats.idle_parks));
+      std::printf("stats cache entries=%zu hits=%llu misses=%llu\n",
+                  cache.size(),
+                  static_cast<unsigned long long>(cache_stats.hits),
+                  static_cast<unsigned long long>(cache_stats.misses));
+    } else if (cmd == "trace") {
+      if (tokens.size() != 3) {
+        err("usage: trace <tid> <path>");
+        continue;
+      }
+      auto it = tenants.find(std::atoi(tokens[1].c_str()));
+      if (it == tenants.end()) {
+        err("no such tenant");
+        continue;
+      }
+      if (it->second.trace == nullptr) {
+        err("tenant was not opened with trace=1 (or tracing is "
+            "compiled out)");
+        continue;
+      }
+      // Producers must be quiescent: wait out the batches first.
+      for (Batch& b : it->second.batches) b.session->wait();
+      std::vector<obs::TraceProcess> procs;
+      procs.push_back(obs::TraceProcess{it->second.id, it->second.app,
+                                        it->second.trace.get()});
+      if (!obs::write_chrome_trace(procs, tokens[2])) {
+        err("cannot write trace");
+        continue;
+      }
+      std::printf("ok trace %d %s\n", it->second.id, tokens[2].c_str());
+    } else if (cmd == "quit") {
+      for (auto& [id, t] : tenants) close_tenant(t);
+      tenants.clear();
+      running = false;
+      std::printf("bye\n");
+    } else {
+      err("unknown command '" + cmd + "'");
+    }
+    if (opts.rebalance) {
+      int rec = rebalance.recommend(exec.metrics().snapshot(),
+                                    exec.workers(), exec.active_cap());
+      if (rec != exec.active_cap()) {
+        exec.set_active_cap(rec);
+        std::fprintf(stderr, "hinchd: rebalanced active cap -> %d\n", rec);
+      }
+    }
+    std::fflush(stdout);
+  }
+
+  for (auto& [id, t] : tenants) close_tenant(t);
+  tenants.clear();
+  exec.shutdown();
+  return 0;
+}
+
+struct LoadgenOptions {
+  int sessions = 4;
+  std::vector<std::string> apps = {"blur", "pip"};
+  int iters = 24;
+  int feeds = 1;
+  bool churn = false;
+};
+
+// Emit a client script. With --churn, tenants are closed while later
+// ones are still feeding, exercising teardown-under-load.
+int loadgen(const LoadgenOptions& opts) {
+  std::vector<int> open_order;
+  for (int i = 0; i < opts.sessions; ++i) {
+    const std::string& app = opts.apps[static_cast<size_t>(i) %
+                                       opts.apps.size()];
+    // Small frame sizes: the load generator stresses session churn, not
+    // pixel throughput.
+    std::printf("open %s width=96 height=64 frames=8\n", app.c_str());
+    open_order.push_back(i);
+    for (int f = 0; f < opts.feeds; ++f)
+      std::printf("feed %d %d\n", i, opts.iters);
+    if (opts.churn && i >= 2) {
+      // Close the tenant opened two steps ago while this one streams.
+      std::printf("close %d\n", i - 2);
+    }
+  }
+  std::printf("stats\n");
+  for (int i : open_order) {
+    if (opts.churn && i < opts.sessions - 2) continue;  // already closed
+    std::printf("wait %d\n", i);
+    std::printf("close %d\n", i);
+  }
+  std::printf("stats\n");
+  std::printf("quit\n");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hinchd [--workers=N] [--max-sessions=N] "
+               "[--rebalance]\n"
+               "       hinchd --loadgen [--sessions=N] [--apps=a,b] "
+               "[--iters=N] [--feeds=M] [--churn]\n"
+               "(see the header of tools/hinchd.cpp)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool is_loadgen = false;
+  ServeOptions serve_opts;
+  LoadgenOptions load_opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto int_flag = [&](const char* name, int* out) {
+      std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *out = std::atoi(arg.c_str() + prefix.size());
+      return true;
+    };
+    if (arg == "--loadgen") {
+      is_loadgen = true;
+    } else if (arg == "--rebalance") {
+      serve_opts.rebalance = true;
+    } else if (arg == "--churn") {
+      load_opts.churn = true;
+    } else if (arg.rfind("--apps=", 0) == 0) {
+      load_opts.apps.clear();
+      for (const std::string& a :
+           support::split(arg.substr(std::strlen("--apps=")), ','))
+        load_opts.apps.push_back(std::string(support::trim(a)));
+      if (load_opts.apps.empty()) return usage();
+    } else if (int_flag("--workers", &serve_opts.workers) ||
+               int_flag("--max-sessions", &serve_opts.max_sessions) ||
+               int_flag("--sessions", &load_opts.sessions) ||
+               int_flag("--iters", &load_opts.iters) ||
+               int_flag("--feeds", &load_opts.feeds)) {
+      // parsed
+    } else {
+      return usage();
+    }
+  }
+  if (is_loadgen) return loadgen(load_opts);
+  if (serve_opts.workers < 1 || load_opts.sessions < 0) return usage();
+  return serve(serve_opts);
+}
