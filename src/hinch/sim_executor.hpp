@@ -13,6 +13,7 @@
 #include "hinch/scheduler.hpp"
 #include "sim/cache.hpp"
 #include "sim/engine.hpp"
+#include "sim/platform.hpp"
 
 namespace obs {
 class MetricsRegistry;
@@ -39,7 +40,16 @@ struct ChargeTrace {
 
 struct SimParams {
   int cores = 1;
-  sim::CacheConfig cache;  // `cores` is overwritten from the field above
+  // Platform description (tiles, core classes, interconnect). Empty
+  // (the default) means a single tile of `cores` baseline cores — the
+  // exact legacy model, byte-identical results. When set, it defines
+  // the core count: `cores` must then be left at its default (1) or
+  // match platform.total_cores().
+  sim::PlatformConfig platform;
+  // Cache geometry. Leave cache.cores at 0 (unset): the executor
+  // derives it from `cores` / `platform` and aborts on a conflicting
+  // nonzero value (it used to be overwritten silently).
+  sim::CacheConfig cache;
   // Central job queue costs (§4.2: parallel runs at 1 node disable all
   // synchronization operations — set sync_costs=false to model that).
   sim::Cycles queue_lock_cycles = 60;
@@ -78,14 +88,39 @@ struct SimResult {
   // Per-region memory statistics (streams and scratch), for the unified
   // metrics dump (obs::MetricsRegistry via collect_metrics).
   std::vector<sim::RegionStats> regions;
+  // Platform shape of the run. Legacy single-tile runs report tiles=1
+  // with core_tile/core_multiplier/tile_* left empty.
+  int tiles = 1;
+  std::vector<int> core_tile;            // core -> tile index
+  std::vector<double> core_multiplier;   // core -> cycle multiplier
+  std::vector<sim::Cycles> tile_busy;    // per-tile summed busy cycles
+  std::vector<uint64_t> tile_jobs;       // per-tile executed jobs
 
   double utilization() const {
     if (total_cycles == 0 || core_busy.empty()) return 0.0;
-    sim::Cycles busy = 0;
-    for (sim::Cycles c : core_busy) busy += c;
-    return static_cast<double>(busy) /
-           (static_cast<double>(total_cycles) *
-            static_cast<double>(core_busy.size()));
+    // Heterogeneous frequencies: busy cycles on a slow core represent
+    // less work than the same cycles on a fast one, so dividing summed
+    // busy time by cores * total overstates utilization. Normalize each
+    // core's busy time — and its share of the capacity — by its cycle
+    // multiplier instead (work actually done / work the platform could
+    // have done).
+    bool hetero = false;
+    for (double m : core_multiplier)
+      if (m != 1.0) hetero = true;
+    if (!hetero) {
+      sim::Cycles busy = 0;
+      for (sim::Cycles c : core_busy) busy += c;
+      return static_cast<double>(busy) /
+             (static_cast<double>(total_cycles) *
+              static_cast<double>(core_busy.size()));
+    }
+    double work = 0.0, capacity = 0.0;
+    for (size_t i = 0; i < core_busy.size(); ++i) {
+      double m = core_multiplier[i];
+      work += static_cast<double>(core_busy[i]) / m;
+      capacity += static_cast<double>(total_cycles) / m;
+    }
+    return work / capacity;
   }
 };
 

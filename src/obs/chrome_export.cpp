@@ -58,8 +58,21 @@ void emit_session(const TraceSession& session, int pid,
   const char* lane_prefix = clock == ClockDomain::kCycles ? "core" : "worker";
   char buf[160];
 
-  // Lane-name metadata so the UI labels rows "core 0" / "worker 3".
+  // Lane-name metadata so the UI labels rows "core 0" / "worker 3" —
+  // or a custom per-lane name when the session carries one (multi-tile
+  // sim runs label lanes "tile<t>.core<c>").
   for (int lane = 0; lane < session.lanes(); ++lane) {
+    const std::string& custom = session.lane_name(lane);
+    if (!custom.empty()) {
+      std::string line =
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+          std::to_string(pid) + ",\"tid\":" + std::to_string(lane) +
+          ",\"args\":{\"name\":\"";
+      append_escaped(&line, custom);
+      line += "\"}}";
+      emit_line(line);
+      continue;
+    }
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
                   "\"tid\":%d,\"args\":{\"name\":\"%s %d\"}}",

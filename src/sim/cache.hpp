@@ -1,5 +1,5 @@
-// Memory-hierarchy model of the SpaceCAKE tile (§4 of the paper: each
-// TriMedia core has a private L1, the L2 is shared by the tile).
+// Memory-hierarchy model of the SpaceCAKE platform (§4 of the paper:
+// each TriMedia core has a private L1, an L2 is shared per tile).
 //
 // Granularity is a "chunk" (default 1 KiB) rather than a cache line: the
 // workloads stream whole image rows, so chunk-level LRU reproduces the
@@ -7,12 +7,21 @@
 // into stream-connected components increases misses (§4.1) — at a small
 // fraction of the bookkeeping cost.
 //
-// Charging policy per touched chunk:
-//   in own L1           -> 0 extra cycles (L1 hit cost is folded into the
-//                          kernels' compute-cycle constants)
-//   in shared L2 only   -> l2_cycles_per_chunk
-//   in neither          -> mem_cycles_per_chunk
-// Writes invalidate other cores' L1 copies (MSI-style coherence).
+// Charging policy per touched chunk (core on tile T):
+//   in own L1            -> 0 extra cycles (L1 hit cost is folded into
+//                           the kernels' compute-cycle constants)
+//   in tile T's L2       -> l2_cycles_per_chunk
+//   in another tile's L2 -> l2_cycles_per_chunk
+//                           + hops * hop_cycles_per_chunk (interconnect
+//                           transfer; the chunk is installed in tile T's
+//                           L2 and the core's L1, the remote copy and
+//                           its recency are left untouched); nearest
+//                           tile first, lowest index breaking ties
+//   in no cache          -> mem_cycles_per_chunk
+// Writes invalidate other cores' L1 copies and other tiles' L2 copies
+// (MSI-style coherence). The classic single-tile configuration never
+// takes the remote path, so its statistics and cycle charges are
+// identical to the pre-multi-tile model.
 //
 // Two interchangeable cache-structure engines implement the identical
 // LRU/coherence semantics (every access classifies and evicts the same
@@ -22,11 +31,15 @@
 //   node per resident chunk (index-linked, no per-touch allocation)
 //   found through one open-addressing hash probe; per-cache intrusive
 //   LRU lists thread through per-cache prev/next arrays indexed by the
-//   node id; a per-chunk core-presence bitmask makes a write
-//   invalidation one mask read plus targeted erases (instead of probing
-//   every core's map); and a per-region resident-chunk list makes
-//   release_region O(chunks actually cached), not
-//   O(region chunks x caches).
+//   node id; a per-chunk presence bitmask (one bit per L1 plus one per
+//   tile L2) makes a write invalidation mask reads plus targeted erases
+//   (instead of probing every core's map); and a per-region
+//   resident-chunk list makes release_region O(chunks actually cached),
+//   not O(region chunks x caches). The mask scales with the platform:
+//   an inline 64-bit word covers up to 64 caches (63 cores + one L2, or
+//   e.g. 60 cores across 4 tiles); wider platforms switch to pooled
+//   multi-word mask spans, so the 64–256-core regime simulates on the
+//   fast engine (an earlier version aborted at cores >= 64).
 //
 //   LruImpl::kListReference — the original std::list +
 //   std::unordered_map structures, retained as the equivalence baseline
@@ -41,6 +54,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/platform.hpp"
 
 namespace sim {
 
@@ -52,7 +66,11 @@ enum class LruImpl {
 };
 
 struct CacheConfig {
-  int cores = 1;
+  // 0 = unset: MemorySystem resolves it to 1 (a single core). The sim
+  // executor derives it from SimParams.cores / the platform spec and
+  // fails loudly on a conflicting nonzero value (it used to overwrite
+  // silently).
+  int cores = 0;
   uint64_t l1_bytes = 16 * 1024;  // per core (TriMedia-like)
   // SpaceCAKE tiles carry a large shared embedded-DRAM L2. 16 MiB holds
   // every sequential application's working set and the pipelined PiP
@@ -64,15 +82,33 @@ struct CacheConfig {
   Cycles l2_cycles_per_chunk = 192;   // ~12 cycles per 64 B line
   Cycles mem_cycles_per_chunk = 640;  // ~40 cycles per 64 B line
   LruImpl lru_impl = LruImpl::kFlat;
+
+  // --- multi-tile extension (defaults reproduce the single-tile model;
+  // apply_platform() fills these from a sim::PlatformConfig) ---
+  // Core -> tile index; empty = every core on tile 0 (one shared L2).
+  std::vector<int> tile_of_core;
+  // Per-tile L2 capacity; empty (or a 0 entry) falls back to l2_bytes.
+  std::vector<uint64_t> tile_l2_bytes;
+  Cycles hop_cycles_per_chunk = 0;  // interconnect cost per chunk per hop
+  Topology topology = Topology::kCrossbar;
+  int mesh_width = 0;  // columns for Topology::kMesh
 };
+
+// Resolve a platform description into the cache model's low-level form:
+// cores, the core->tile map, per-tile L2 capacities and the
+// interconnect parameters. Leaves l1/l2 sizing defaults untouched.
+void apply_platform(const PlatformConfig& platform, CacheConfig* cache);
 
 struct MemStats {
   uint64_t accesses = 0;   // chunk touches
   uint64_t l1_hits = 0;
-  uint64_t l2_hits = 0;
+  uint64_t l2_hits = 0;    // includes remote_hits
   uint64_t mem_fetches = 0;
-  uint64_t invalidations = 0;
+  uint64_t invalidations = 0;  // L1 copies invalidated by writes
   Cycles stall_cycles = 0;
+  // Multi-tile sub-counters (always 0 on a single-tile platform).
+  uint64_t remote_hits = 0;        // L2 hits served by another tile
+  uint64_t l2_invalidations = 0;   // remote-tile L2 copies invalidated
 
   double l1_hit_rate() const {
     return accesses ? static_cast<double>(l1_hits) / static_cast<double>(accesses)
@@ -95,6 +131,8 @@ struct RegionStats {
   uint64_t mem_fetches = 0;
   uint64_t invalidations = 0;
   Cycles stall_cycles = 0;
+  uint64_t remote_hits = 0;
+  uint64_t l2_invalidations = 0;
 };
 
 class MemorySystem {
@@ -108,13 +146,15 @@ class MemorySystem {
 
   // Charge the stall cycles for core `core` touching bytes
   // [offset, offset+len) of `region`. `write` additionally invalidates
-  // other cores' L1 copies. Returns the stall cycles (also accumulated in
-  // stats()).
+  // other cores' L1 copies (and other tiles' L2 copies). Returns the
+  // stall cycles (also accumulated in stats()).
   Cycles access(int core, RegionId region, uint64_t offset, uint64_t len,
                 bool write);
 
   const MemStats& stats() const { return stats_; }
   void reset_stats() { stats_ = MemStats{}; }
+
+  int tiles() const { return num_tiles_; }
 
   // Per-region access/miss/stall breakdown in registration order,
   // including released regions (their counters stop but are kept).
@@ -154,14 +194,18 @@ class MemorySystem {
 
   // ---- flat engine -------------------------------------------------------
   //
-  // Directory node: one per chunk resident in at least one cache. The
-  // presence mask has bit c set when core c's L1 holds the chunk and bit
-  // `cores` when the L2 does. LRU prev/next links live in per-cache
-  // stripes of links_ (stride = node-pool capacity), so membership and
-  // recency updates are index arithmetic on flat arrays.
+  // Directory node: one per chunk resident in at least one cache.
+  // Cache index space: [0, cores) are the per-core L1s, [cores,
+  // cores + tiles) are the per-tile L2s. The presence mask has bit i
+  // set when cache i holds the chunk; it is the inline `mask` word
+  // while every cache index fits 64 bits, and a pooled span of
+  // `mask_words_` words in mask_pool_ on wider platforms. LRU
+  // prev/next links live in per-cache stripes of links_ (stride =
+  // node-pool capacity), so membership and recency updates are index
+  // arithmetic on flat arrays.
   struct DirNode {
     ChunkKey chunk_key = 0;
-    uint64_t mask = 0;
+    uint64_t mask = 0;  // presence bits when mask_words_ == 1
     RegionId region = 0;
     int32_t region_prev = -1;
     int32_t region_next = -1;
@@ -197,14 +241,43 @@ class MemorySystem {
   void list_unlink(size_t cache, int32_t n);
   void list_move_front(size_t cache, int32_t n);
 
+  // Presence-mask span of node `n` (kWide: pooled multi-word span;
+  // !kWide: the inline DirNode word).
+  template <bool kWide>
+  uint64_t* mask_span(int32_t n) {
+    if constexpr (kWide)
+      return &mask_pool_[static_cast<size_t>(n) * mask_words_];
+    else
+      return &nodes_[static_cast<size_t>(n)].mask;
+  }
+  template <bool kWide>
+  bool mask_test(int32_t n, size_t bit) {
+    if constexpr (kWide)
+      return (mask_span<kWide>(n)[bit >> 6] >> (bit & 63)) & 1;
+    else
+      return (nodes_[static_cast<size_t>(n)].mask >> bit) & 1;
+  }
+  template <bool kWide>
+  void mask_set(int32_t n, size_t bit) {
+    mask_span<kWide>(n)[kWide ? bit >> 6 : 0] |= uint64_t{1}
+                                                 << (kWide ? (bit & 63) : bit);
+  }
+  template <bool kWide>
+  void mask_clear(int32_t n, size_t bit);
+  template <bool kWide>
+  bool mask_empty(int32_t n);
+  void mask_zero(int32_t n);
+
   // Returns the hash slot holding `k`, or the slot to insert it at.
   size_t hash_find(ChunkKey k) const;
   void hash_erase_slot(size_t slot);  // backward-shift deletion
 
   int32_t alloc_node(ChunkKey k, size_t slot, RegionId region);
   void free_node(int32_t n);  // unlinks from hash + region list
+  template <bool kWide>
   void evict_tail(size_t cache);
 
+  template <bool kWide>
   Cycles access_flat(int core, Region& region_info, RegionId region,
                      uint64_t first, uint64_t last, bool write);
   void release_region_flat(RegionId id, Region& region_info);
@@ -215,14 +288,24 @@ class MemorySystem {
   RegionId next_region_ = 1;
   std::vector<Region> regions_;  // index 0 unused
 
+  // Platform shape (resolved in the constructor; single tile default).
+  int num_tiles_ = 1;
+  std::vector<int> tile_of_core_;  // size cores
+  // Remote-L2 search order per tile: other tiles sorted by (hops, index).
+  std::vector<std::vector<int>> remote_order_;
+  std::vector<int> hops_;  // tile x tile hop counts (row-major)
+
   // list-reference engine state
   std::vector<Lru> l1_;  // one per core
-  Lru l2_;
+  std::vector<Lru> l2_;  // one per tile
 
   // flat engine state
-  size_t num_caches_ = 0;     // cores + 1; cache index `cores` is the L2
+  size_t num_caches_ = 0;     // cores + tiles; cache cores+t is tile t's L2
+  size_t mask_words_ = 1;     // presence-mask width in 64-bit words
   size_t node_capacity_ = 0;  // fixed pool size (max residency + margin)
   std::vector<DirNode> nodes_;
+  std::vector<uint64_t> mask_pool_;  // mask spans when mask_words_ > 1
+  std::vector<uint64_t> l1_bits_;    // per word: bits of L1 cache indices
   std::vector<Links> links_;  // num_caches_ stripes of node_capacity_
   std::vector<LruList> lists_;
   std::vector<int32_t> free_nodes_;

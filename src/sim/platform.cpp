@@ -1,0 +1,88 @@
+#include "sim/platform.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace sim {
+
+int PlatformConfig::total_cores() const {
+  int total = 0;
+  for (const TileSpec& t : tiles) total += t.cores;
+  return total;
+}
+
+void PlatformConfig::check() const {
+  SUP_CHECK_MSG(!tiles.empty(), "platform has no tiles");
+  const int nclasses =
+      classes.empty() ? 1 : static_cast<int>(classes.size());
+  for (const CoreClass& c : classes) {
+    SUP_CHECK_MSG(c.cycle_multiplier > 0.0 &&
+                      std::isfinite(c.cycle_multiplier),
+                  "core-class cycle multiplier must be positive and finite");
+  }
+  for (const TileSpec& t : tiles) {
+    SUP_CHECK_MSG(t.cores >= 1, "tile must have at least one core");
+    SUP_CHECK_MSG(t.core_class >= 0 && t.core_class < nclasses,
+                  "tile references an unknown core class");
+  }
+  if (topology == Topology::kMesh)
+    SUP_CHECK_MSG(mesh_width >= 1, "mesh topology needs mesh_width >= 1");
+}
+
+std::vector<int> PlatformConfig::tile_map() const {
+  std::vector<int> map;
+  map.reserve(static_cast<size_t>(total_cores()));
+  for (size_t t = 0; t < tiles.size(); ++t)
+    for (int c = 0; c < tiles[t].cores; ++c)
+      map.push_back(static_cast<int>(t));
+  return map;
+}
+
+std::vector<double> PlatformConfig::core_multipliers() const {
+  std::vector<double> mult;
+  mult.reserve(static_cast<size_t>(total_cores()));
+  for (const TileSpec& t : tiles) {
+    double m = classes.empty()
+                   ? 1.0
+                   : classes[static_cast<size_t>(t.core_class)]
+                         .cycle_multiplier;
+    for (int c = 0; c < t.cores; ++c) mult.push_back(m);
+  }
+  return mult;
+}
+
+int topology_hops(Topology topology, int mesh_width, int tiles, int a,
+                  int b) {
+  if (a == b) return 0;
+  switch (topology) {
+    case Topology::kCrossbar:
+      return 1;
+    case Topology::kRing: {
+      int d = std::abs(a - b);
+      return d < tiles - d ? d : tiles - d;
+    }
+    case Topology::kMesh: {
+      SUP_DCHECK(mesh_width >= 1);
+      int ax = a % mesh_width, ay = a / mesh_width;
+      int bx = b % mesh_width, by = b / mesh_width;
+      return std::abs(ax - bx) + std::abs(ay - by);
+    }
+  }
+  return 1;
+}
+
+int PlatformConfig::hops(int tile_a, int tile_b) const {
+  return topology_hops(topology, mesh_width, tile_count(), tile_a, tile_b);
+}
+
+PlatformConfig PlatformConfig::homogeneous(int tiles, int cores_per_tile) {
+  SUP_CHECK(tiles >= 1 && cores_per_tile >= 1);
+  PlatformConfig p;
+  p.tiles.assign(static_cast<size_t>(tiles),
+                 TileSpec{cores_per_tile, 0, 0});
+  return p;
+}
+
+}  // namespace sim

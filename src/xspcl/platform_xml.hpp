@@ -1,0 +1,41 @@
+// XML platform specs: the simulated machine as data, not code.
+//
+//   <platform name="spacecake4" topology="ring" hop_cycles_per_chunk="64"
+//             dispatch="fastest">
+//     <coreclass name="trimedia" cycle_multiplier="1.0"/>
+//     <coreclass name="lite"     cycle_multiplier="2.0"/>
+//     <tile cores="4" class="trimedia" l2_bytes="4194304"/>
+//     <tile cores="4" class="lite" count="3"/>
+//   </platform>
+//
+// topology: crossbar (default) | ring | mesh (needs mesh_width="N");
+// dispatch: lowest (default) | fastest | affinity;
+// <coreclass> is optional (omitted = one baseline class, multiplier 1);
+// <tile count="K"> repeats the tile K times; l2_bytes="0"/omitted uses
+// the CacheConfig default (16 MiB).
+//
+// All structural errors are reported as positioned diagnostics
+// ("platform spec at LINE:COL: ..."), same idiom as the XSPCL
+// elaborator. Loaded specs are fed to hinch::SimParams::platform
+// (`xspclc run --platform=FILE`).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/platform.hpp"
+#include "support/status.hpp"
+#include "xml/dom.hpp"
+
+namespace xspcl {
+
+// Convert an already-parsed <platform> element.
+support::Result<sim::PlatformConfig> parse_platform(const xml::Element& root);
+
+// Parse + convert an XML document / file.
+support::Result<sim::PlatformConfig> load_platform_string(
+    std::string_view text);
+support::Result<sim::PlatformConfig> load_platform_file(
+    const std::string& path);
+
+}  // namespace xspcl

@@ -1,0 +1,320 @@
+// Multi-tile platform model: XML spec loading (positioned diagnostics),
+// heterogeneous-platform determinism (run-twice, engine equivalence,
+// charge-trace replay, a golden cycle snapshot), the 256-core wide-mask
+// regime, the capacity-normalized utilization fix, and the loud failure
+// on conflicting cache.cores.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.hpp"
+#include "xspcl/platform_xml.hpp"
+
+namespace {
+
+struct DeathStyle {
+  DeathStyle() { ::testing::FLAGS_gtest_death_test_style = "threadsafe"; }
+};
+DeathStyle g_death_style;
+
+// Mirrors specs/platform_2tile.xml (which the xspclc ctest leg runs):
+// one full-speed tile + one half-frequency tile, 4 MiB L2 each.
+const char kTwoTileSpec[] = R"(<platform name="spacecake-2tile"
+          topology="crossbar" hop_cycles_per_chunk="64">
+  <coreclass name="trimedia" cycle_multiplier="1.0"/>
+  <coreclass name="lite" cycle_multiplier="2.0"/>
+  <tile cores="2" class="trimedia" l2_bytes="4194304"/>
+  <tile cores="2" class="lite" l2_bytes="4194304"/>
+</platform>)";
+
+// Mirrors specs/platform_256.xml: a 4x4 mesh of 16-core tiles, 1 MiB
+// L2 each — 272 presence bits, well past the old 64-bit mask.
+const char k256Spec[] = R"(<platform name="spacecake-256" topology="mesh"
+          mesh_width="4" hop_cycles_per_chunk="64">
+  <tile cores="16" l2_bytes="1048576" count="16"/>
+</platform>)";
+
+sim::PlatformConfig load_platform(const char* text) {
+  auto result = xspcl::load_platform_string(text);
+  SUP_CHECK_MSG(result.is_ok(), result.status().to_string().c_str());
+  return std::move(result).take();
+}
+
+apps::PipConfig small_pip() {
+  apps::PipConfig c = bench::paper_pip(1);
+  c.frames = 6;
+  return c;
+}
+
+hinch::SimResult run_platform(const std::string& spec, int64_t frames,
+                              const sim::PlatformConfig& platform,
+                              sim::LruImpl impl) {
+  auto prog = bench::build_program(spec);
+  hinch::RunConfig run;
+  run.iterations = frames;
+  hinch::SimParams sim;
+  sim.platform = platform;
+  sim.cache.lru_impl = impl;
+  return hinch::run_on_sim(*prog, run, sim);
+}
+
+void expect_same(const hinch::SimResult& a, const hinch::SimResult& b) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_TRUE(a.mem == b.mem);
+  EXPECT_EQ(a.core_busy, b.core_busy);
+  EXPECT_EQ(a.queue_wait_cycles, b.queue_wait_cycles);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.task_cycles, b.task_cycles);
+  EXPECT_EQ(a.tile_busy, b.tile_busy);
+  EXPECT_EQ(a.tile_jobs, b.tile_jobs);
+}
+
+TEST(PlatformXml, ParsesFullSpec) {
+  sim::PlatformConfig p = load_platform(kTwoTileSpec);
+  EXPECT_EQ(p.name, "spacecake-2tile");
+  EXPECT_EQ(p.topology, sim::Topology::kCrossbar);
+  EXPECT_EQ(p.hop_cycles_per_chunk, 64u);
+  EXPECT_EQ(p.dispatch, sim::DispatchPolicy::kLowestCore);
+  ASSERT_EQ(p.classes.size(), 2u);
+  EXPECT_EQ(p.classes[0].name, "trimedia");
+  EXPECT_DOUBLE_EQ(p.classes[1].cycle_multiplier, 2.0);
+  ASSERT_EQ(p.tiles.size(), 2u);
+  EXPECT_EQ(p.tiles[0].cores, 2);
+  EXPECT_EQ(p.tiles[1].core_class, 1);
+  EXPECT_EQ(p.tiles[1].l2_bytes, 4194304u);
+  EXPECT_EQ(p.total_cores(), 4);
+  EXPECT_EQ(p.tile_map(), (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(p.core_multipliers(), (std::vector<double>{1, 1, 2, 2}));
+
+  sim::PlatformConfig mesh = load_platform(k256Spec);
+  EXPECT_EQ(mesh.total_cores(), 256);
+  EXPECT_EQ(mesh.tile_count(), 16);
+  // Mesh hops: tile 0 = (0,0), tile 15 = (3,3) -> Manhattan 6.
+  EXPECT_EQ(mesh.hops(0, 15), 6);
+  EXPECT_EQ(mesh.hops(0, 1), 1);
+  EXPECT_EQ(mesh.hops(5, 5), 0);
+}
+
+TEST(PlatformXml, RingAndDispatchAttributes) {
+  sim::PlatformConfig p = load_platform(
+      R"(<platform topology="ring" dispatch="fastest">
+  <tile cores="1" count="6"/>
+</platform>)");
+  EXPECT_EQ(p.topology, sim::Topology::kRing);
+  EXPECT_EQ(p.dispatch, sim::DispatchPolicy::kFastestFirst);
+  EXPECT_TRUE(p.classes.empty());  // implicit baseline class
+  EXPECT_EQ(p.hops(0, 5), 1);      // ring wraps
+  EXPECT_EQ(p.hops(0, 3), 3);
+}
+
+// Every structural error must carry the source position of the element
+// it concerns ("platform spec at LINE:COL: ...").
+TEST(PlatformXml, PositionedParseErrors) {
+  struct Case {
+    const char* xml;
+    const char* want;  // substring of the diagnostic
+  };
+  const Case cases[] = {
+      {"<machine/>", "at 1:1: expected <platform> root"},
+      {"<platform topology=\"torus\"><tile cores=\"1\"/></platform>",
+       "unknown topology 'torus'"},
+      {"<platform dispatch=\"random\"><tile cores=\"1\"/></platform>",
+       "unknown dispatch policy 'random'"},
+      {"<platform>\n  <tile/>\n</platform>", "at 2:3: <tile> needs cores"},
+      {"<platform>\n  <tile cores=\"zero\"/>\n</platform>",
+       "at 2:3: attribute 'cores' of <tile>"},
+      {"<platform>\n  <tile cores=\"1\" class=\"dsp\"/>\n</platform>",
+       "at 2:3: unknown core class 'dsp'"},
+      {"<platform>\n  <coreclass name=\"a\" cycle_multiplier=\"0\"/>\n"
+       "  <tile cores=\"1\"/>\n</platform>",
+       "at 2:3: cycle_multiplier must be positive"},
+      {"<platform>\n  <interconnect/>\n</platform>",
+       "at 2:3: unknown element <interconnect>"},
+      {"<platform/>", "declares no <tile>"},
+      {"<platform topology=\"mesh\"><tile cores=\"1\"/></platform>",
+       "mesh topology needs mesh_width"},
+  };
+  for (const Case& c : cases) {
+    auto result = xspcl::load_platform_string(c.xml);
+    ASSERT_FALSE(result.is_ok()) << c.xml;
+    EXPECT_NE(result.status().message().find(c.want), std::string::npos)
+        << "diagnostic for\n  " << c.xml << "\nwas\n  "
+        << result.status().message();
+  }
+}
+
+// Two-tile heterogeneous golden: run-twice identity, flat/list engine
+// identity, charge-trace replay identity, and pinned absolute numbers
+// so a semantic change to multi-tile charging fails loudly.
+TEST(PlatformSim, TwoTileHeteroGolden) {
+  const std::string spec = apps::pip_xspcl(small_pip());
+  const sim::PlatformConfig platform = load_platform(kTwoTileSpec);
+
+  hinch::SimResult a = run_platform(spec, 6, platform, sim::LruImpl::kFlat);
+  hinch::SimResult b = run_platform(spec, 6, platform, sim::LruImpl::kFlat);
+  expect_same(a, b);
+  hinch::SimResult list =
+      run_platform(spec, 6, platform, sim::LruImpl::kListReference);
+  expect_same(a, list);
+
+  EXPECT_EQ(a.tiles, 2);
+  ASSERT_EQ(a.core_multiplier.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.core_multiplier[3], 2.0);
+  ASSERT_EQ(a.tile_busy.size(), 2u);
+  EXPECT_EQ(a.tile_busy[0] + a.tile_busy[1],
+            a.core_busy[0] + a.core_busy[1] + a.core_busy[2] +
+                a.core_busy[3]);
+
+  // Golden snapshot (produced by the first multi-tile implementation;
+  // both engines agree on every field).
+  EXPECT_EQ(a.total_cycles, 7472006u);
+  EXPECT_EQ(a.mem.accesses, 24072u);
+  EXPECT_EQ(a.mem.l1_hits, 46u);
+  EXPECT_EQ(a.mem.l2_hits, 9759u);
+  EXPECT_EQ(a.mem.remote_hits, 4566u);
+  EXPECT_EQ(a.mem.mem_fetches, 14267u);
+  EXPECT_EQ(a.mem.invalidations, 146u);
+  EXPECT_EQ(a.mem.l2_invalidations, 300u);
+  EXPECT_EQ(a.mem.stall_cycles, 11296832u);
+  EXPECT_EQ(a.jobs, 354u);
+
+  // Replay identity: a charge trace recorded on the hetero platform
+  // replays to identical results on both engines.
+  auto prog = bench::build_program(spec);
+  hinch::RunConfig run;
+  run.iterations = 6;
+  hinch::ChargeTrace trace;
+  hinch::SimParams record;
+  record.platform = platform;
+  record.record_trace = &trace;
+  hinch::SimResult recorded = hinch::run_on_sim(*prog, run, record);
+  expect_same(a, recorded);
+  for (sim::LruImpl impl :
+       {sim::LruImpl::kFlat, sim::LruImpl::kListReference}) {
+    hinch::SimParams replay;
+    replay.platform = platform;
+    replay.cache.lru_impl = impl;
+    replay.replay_trace = &trace;
+    hinch::SimResult replayed = hinch::run_on_sim(*prog, run, replay);
+    expect_same(recorded, replayed);
+  }
+}
+
+// Acceptance criterion: a 256-core multi-tile spec simulates to
+// completion on both LRU engines with identical stats and cycles.
+TEST(PlatformSim, MeshOf256CoresBothEngines) {
+  const std::string spec = apps::pip_xspcl(small_pip());
+  const sim::PlatformConfig platform = load_platform(k256Spec);
+  hinch::SimResult flat =
+      run_platform(spec, 6, platform, sim::LruImpl::kFlat);
+  hinch::SimResult list =
+      run_platform(spec, 6, platform, sim::LruImpl::kListReference);
+  expect_same(flat, list);
+  EXPECT_EQ(flat.tiles, 16);
+  EXPECT_EQ(flat.core_busy.size(), 256u);
+  EXPECT_GT(flat.total_cycles, 0u);
+}
+
+// Remote-tile L2 hits must be charged the interconnect cost: the same
+// sharing pattern on one tile vs two tiles differs exactly by hop
+// cycles, and the remote_hits counter picks it up.
+TEST(PlatformSim, RemoteFetchChargesHops) {
+  sim::CacheConfig one_tile;
+  one_tile.cores = 2;
+  sim::CacheConfig two_tiles = one_tile;
+  two_tiles.tile_of_core = {0, 1};
+  two_tiles.hop_cycles_per_chunk = 64;
+  for (sim::LruImpl impl :
+       {sim::LruImpl::kFlat, sim::LruImpl::kListReference}) {
+    one_tile.lru_impl = impl;
+    two_tiles.lru_impl = impl;
+    sim::MemorySystem local(one_tile);
+    sim::MemorySystem remote(two_tiles);
+    sim::RegionId region = 0;
+    for (sim::MemorySystem* m : {&local, &remote}) {
+      region = m->register_region(4096, "buf");  // same id in both
+      m->access(0, region, 0, 4096, true);   // core 0: 4 chunks from mem
+      m->access(1, region, 0, 4096, false);  // core 1: served from L2
+    }
+    EXPECT_EQ(local.stats().l2_hits, 4u);
+    EXPECT_EQ(local.stats().remote_hits, 0u);
+    EXPECT_EQ(remote.stats().l2_hits, 4u);
+    EXPECT_EQ(remote.stats().remote_hits, 4u);  // core 1 is on tile 1
+    // 4 chunks * (192 L2 + 1 hop * 64) vs 4 * 192.
+    EXPECT_EQ(remote.stats().stall_cycles - local.stats().stall_cycles,
+              4u * 64u);
+    // A write from core 0 now invalidates tile 1's L2 copies.
+    local.access(0, region, 0, 4096, true);
+    remote.access(0, region, 0, 4096, true);
+    EXPECT_EQ(local.stats().l2_invalidations, 0u);
+    EXPECT_EQ(remote.stats().l2_invalidations, 4u);
+  }
+}
+
+// The utilization fix: busy cycles on a slow core represent less work,
+// so heterogeneous platforms normalize by the cycle multiplier.
+// Homogeneous results keep the exact legacy expression.
+TEST(SimResultUtilization, CapacityNormalized) {
+  hinch::SimResult r;
+  r.total_cycles = 100;
+  r.core_busy = {100, 50};
+  EXPECT_DOUBLE_EQ(r.utilization(), 0.75);  // legacy: (100+50)/(100*2)
+
+  r.core_multiplier = {1.0, 1.0};  // explicit homogeneous: unchanged
+  EXPECT_DOUBLE_EQ(r.utilization(), 0.75);
+
+  // Core 1 runs at half frequency (multiplier 2): its 50 busy cycles
+  // are 25 baseline-equivalents of work, its capacity 50 equivalents.
+  // work = 100 + 25 = 125, capacity = 100 + 50 -> 125/150.
+  r.core_multiplier = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.utilization(), (100.0 + 25.0) / 150.0);
+
+  // Fully-busy hetero platform is 100% utilized, not overstated.
+  r.core_busy = {100, 100};
+  EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+}
+
+// cache.cores used to be clobbered silently; now a conflicting nonzero
+// value aborts.
+TEST(SimGuards, ConflictingCacheCoresAborts) {
+  const std::string spec = apps::pip_xspcl(small_pip());
+  auto prog = bench::build_program(spec);
+  hinch::RunConfig run;
+  run.iterations = 2;
+  hinch::SimParams params;
+  params.cores = 2;
+  params.cache.cores = 3;
+  EXPECT_DEATH(hinch::run_on_sim(*prog, run, params),
+               "cache.cores conflicts");
+
+  // Matching values and the 0 default are both fine.
+  params.cache.cores = 2;
+  EXPECT_GT(hinch::run_on_sim(*prog, run, params).total_cycles, 0u);
+}
+
+TEST(SimGuards, CoresConflictingWithPlatformAborts) {
+  const std::string spec = apps::pip_xspcl(small_pip());
+  auto prog = bench::build_program(spec);
+  hinch::RunConfig run;
+  run.iterations = 2;
+  hinch::SimParams params;
+  params.platform = sim::PlatformConfig::homogeneous(2, 2);
+  params.cores = 3;
+  EXPECT_DEATH(hinch::run_on_sim(*prog, run, params),
+               "conflicts with the platform");
+}
+
+// Dispatch policies are platform behaviour, not cosmetics: fastest-first
+// on a hetero platform keeps work off the slow tile when the fast tile
+// is free.
+TEST(PlatformSim, FastestFirstPrefersFastCores) {
+  const std::string spec = apps::pip_xspcl(small_pip());
+  sim::PlatformConfig platform = load_platform(kTwoTileSpec);
+  platform.dispatch = sim::DispatchPolicy::kFastestFirst;
+  hinch::SimResult r = run_platform(spec, 6, platform, sim::LruImpl::kFlat);
+  ASSERT_EQ(r.tile_jobs.size(), 2u);
+  // Tile 0 holds the fast cores; it must absorb the bulk of the jobs.
+  EXPECT_GT(r.tile_jobs[0], r.tile_jobs[1]);
+  // And stay deterministic.
+  expect_same(r, run_platform(spec, 6, platform, sim::LruImpl::kFlat));
+}
+
+}  // namespace

@@ -66,6 +66,22 @@ TEST(SimDeterminism, LruEnginesAgree) {
   }
 }
 
+// The 63-core ceiling fix: beyond 63 cores the flat engine switches to
+// pooled multi-word presence masks (64 cores + the tile L2 bit no
+// longer fit one word) and must stay stat-identical to the reference
+// engine. 64 straddles the boundary, 128/256 are the ROADMAP regime the
+// engine used to abort on.
+TEST(SimDeterminism, WideMaskEnginesAgree) {
+  const std::string pip = apps::pip_xspcl(small_pip());
+  for (int cores : {64, 128, 256}) {
+    expect_same(run_once(pip, 6, cores, sim::LruImpl::kFlat),
+                run_once(pip, 6, cores, sim::LruImpl::kListReference));
+  }
+  const std::string jpip = apps::jpip_xspcl(small_jpip());
+  expect_same(run_once(jpip, 3, 64, sim::LruImpl::kFlat),
+              run_once(jpip, 3, 64, sim::LruImpl::kListReference));
+}
+
 TEST(SimDeterminism, SequentialEnginesAgree) {
   sim::CacheConfig flat;
   flat.lru_impl = sim::LruImpl::kFlat;

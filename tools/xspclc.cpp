@@ -10,11 +10,14 @@
 //                                         emit C++ glue code
 //   xspclc run      <spec.xml> [--backend=sim|threads] [--cores=N]
 //                   [--iterations=N]      load and execute directly
+//                   [--platform=p.xml]    simulate on an XML platform spec
+//                                         (tiles, core classes, interconnect;
+//                                         see specs/platform_2tile.xml)
 //                   [--trace=out.json]    write a Chrome trace-event file
 //                                         (load in Perfetto / about:tracing)
 //                   [--metrics]           dump the unified metrics registry
 //   xspclc predict  <spec.xml> [--cores=N] [--iterations=N]
-//                                         profile 1 core, predict speedup
+//                   [--platform=p.xml]    profile 1 core, predict speedup
 //   xspclc emit-app <pip|jpip|blur> [--reconfigurable] [-o f]
 //                                         dump a built-in application spec
 //   xspclc passes                         list the registered SP-IR passes
@@ -45,6 +48,7 @@
 #include "sp/validate.hpp"
 #include "xspcl/codegen.hpp"
 #include "xspcl/loader.hpp"
+#include "xspcl/platform_xml.hpp"
 
 namespace {
 
@@ -69,6 +73,7 @@ struct Args {
   std::string passes;      // comma-separated, valid when passes_given
   std::string dump_after;  // pass name or "all"
   std::string trace_out;   // Chrome trace-event output path
+  std::string platform;    // XML platform spec path (sim backend)
   bool metrics = false;
 };
 
@@ -99,6 +104,8 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->dump_after = v;
     } else if (const char* v = value("--trace=")) {
       args->trace_out = v;
+    } else if (const char* v = value("--platform=")) {
+      args->platform = v;
     } else if (a == "--metrics") {
       args->metrics = true;
     } else if (a == "--no-main") {
@@ -327,16 +334,35 @@ int main(int argc, char** argv) {
     } else {
       hinch::SimParams sim;
       sim.cores = args.cores;
+      if (!args.platform.empty()) {
+        auto platform = xspcl::load_platform_file(args.platform);
+        if (!platform.is_ok()) return fail(platform.status());
+        sim.platform = std::move(platform).take();
+        sim.cores = 1;  // the platform defines the core count
+      }
       sim.trace = trace.get();
       sim.metrics = &metrics;
       hinch::SimResult r = hinch::run_on_sim(*prog.value(), run, sim);
-      std::printf(
-          "backend=sim cores=%d iterations=%lld cycles=%llu jobs=%llu "
-          "l1_hit_rate=%.3f reconfigs=%llu\n",
-          args.cores, args.iterations,
-          static_cast<unsigned long long>(r.total_cycles),
-          static_cast<unsigned long long>(r.jobs), r.mem.l1_hit_rate(),
-          static_cast<unsigned long long>(r.sched.reconfigurations));
+      if (!sim.platform.empty()) {
+        std::printf(
+            "backend=sim platform=%s tiles=%d cores=%d iterations=%lld "
+            "cycles=%llu jobs=%llu l1_hit_rate=%.3f remote_hits=%llu "
+            "utilization=%.3f\n",
+            sim.platform.name.c_str(), r.tiles,
+            static_cast<int>(r.core_busy.size()), args.iterations,
+            static_cast<unsigned long long>(r.total_cycles),
+            static_cast<unsigned long long>(r.jobs), r.mem.l1_hit_rate(),
+            static_cast<unsigned long long>(r.mem.remote_hits),
+            r.utilization());
+      } else {
+        std::printf(
+            "backend=sim cores=%d iterations=%lld cycles=%llu jobs=%llu "
+            "l1_hit_rate=%.3f reconfigs=%llu\n",
+            args.cores, args.iterations,
+            static_cast<unsigned long long>(r.total_cycles),
+            static_cast<unsigned long long>(r.jobs), r.mem.l1_hit_rate(),
+            static_cast<unsigned long long>(r.sched.reconfigurations));
+      }
       if (args.metrics) hinch::collect_metrics(*prog.value(), r, &metrics);
     }
     if (args.metrics) std::fputs(metrics.to_text().c_str(), stdout);
@@ -368,6 +394,18 @@ int main(int argc, char** argv) {
           perf::predict_from_profile(*prog.value(), cost, p);
       std::printf("%10d %16.0f %17.2f\n", p, pred.total(args.iterations),
                   base.total(args.iterations) / pred.total(args.iterations));
+    }
+    if (!args.platform.empty()) {
+      auto platform = xspcl::load_platform_file(args.platform);
+      if (!platform.is_ok()) return fail(platform.status());
+      perf::Prediction pred =
+          perf::predict_from_profile(*prog.value(), cost, platform.value());
+      std::printf(
+          "platform %s cores=%d effective_processors=%.2f "
+          "predicted_cycles=%.0f predicted_speedup=%.2f\n",
+          platform.value().name.c_str(), pred.processors, pred.effective,
+          pred.total(args.iterations),
+          base.total(args.iterations) / pred.total(args.iterations));
     }
     return 0;
   }
